@@ -1,0 +1,22 @@
+//! A1 companion: advisor estimate vs exhaustive simulated band search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::a1;
+
+fn bench_advisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor");
+    group.sample_size(15);
+    for dims in a1::shapes() {
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", format!("{dims:?}")),
+            &dims,
+            |b, dims| b.iter(|| a1::evaluate(black_box(dims))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! T4 companion: simulation cost at selected body sizes around the
+//! crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::t4;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossover");
+    group.sample_size(15);
+    for s in [1u64, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("makespans", s), &s, |b, &s| {
+            b.iter(|| t4::makespans(black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! F4 companion: depth-sweep simulation cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::f4;
+use lc_machine::exec::ExecMode;
+use lc_machine::sim::LoopSchedule;
+use lc_sched::policy::PolicyKind;
+use lc_xform::recovery::{per_iteration_cost, RecoveryScheme};
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depth");
+    group.sample_size(10);
+    for dims in f4::shapes() {
+        let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+        group.bench_with_input(
+            BenchmarkId::new("coalesced", dims.len()),
+            &dims,
+            |b, dims| {
+                b.iter(|| {
+                    f4::makespan(
+                        black_box(dims),
+                        ExecMode::coalesced(PolicyKind::Guided, rec),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inner_sweep", dims.len()),
+            &dims,
+            |b, dims| {
+                b.iter(|| {
+                    f4::makespan(
+                        black_box(dims),
+                        ExecMode::InnerParallelSweep {
+                            schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! T2 companion: time to generate the full dispatch sequence, nested vs
+//! coalesced, per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_sched::dispatch::{coalesced_dispatch, nested_dispatch};
+use lc_sched::policy::PolicyKind;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let dims = vec![100u64, 100];
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(30);
+    for kind in [
+        PolicyKind::SelfSched,
+        PolicyKind::Chunked(8),
+        PolicyKind::Guided,
+        PolicyKind::Factoring,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("coalesced", kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| coalesced_dispatch(black_box(&dims), 16, kind)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nested", kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| nested_dispatch(black_box(&dims), 16, kind)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! F6 companion: doacross simulation cost across delays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::f6;
+
+fn bench_doacross(c: &mut Criterion) {
+    let mut group = c.benchmark_group("doacross");
+    group.sample_size(20);
+    for delay in [0u64, 25, 100] {
+        group.bench_with_input(BenchmarkId::new("speedup", delay), &delay, |b, &d| {
+            b.iter(|| f6::doacross_speedup(black_box(d)))
+        });
+    }
+    group.bench_function("strategies_m64", |b| {
+        b.iter(|| f6::recurrence_strategies(black_box(64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_doacross);
+criterion_main!(benches);

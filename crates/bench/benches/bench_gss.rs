@@ -1,0 +1,30 @@
+//! F3 companion: GSS chunk-sequence generation and policy-matrix cells on
+//! irregular workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::f3;
+use lc_machine::sim::LoopSchedule;
+use lc_sched::policy::PolicyKind;
+
+fn bench_gss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gss");
+    group.sample_size(15);
+    group.bench_function("chunk_sequence_n1e6_p16", |b| {
+        b.iter(|| f3::gss_chunks(black_box(1_000_000), 16))
+    });
+    for (name, sched) in [
+        ("SS", LoopSchedule::Dynamic(PolicyKind::SelfSched)),
+        ("GSS", LoopSchedule::Dynamic(PolicyKind::Guided)),
+        ("FAC", LoopSchedule::Dynamic(PolicyKind::Factoring)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("random_work", name), &sched, |b, &s| {
+            b.iter(|| f3::makespan(black_box(f3::workloads()[0]), s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gss);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! F2 companion: triangular-workload simulation per mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::f2;
+
+fn bench_imbalance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imbalance");
+    group.sample_size(10);
+    for (name, mode) in f2::modes() {
+        group.bench_with_input(BenchmarkId::new("p16", name), &mode, |b, &mode| {
+            b.iter(|| f2::cell(black_box(mode), 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_imbalance);
+criterion_main!(benches);

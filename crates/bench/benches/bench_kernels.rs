@@ -1,0 +1,22 @@
+//! T5 companion: IR-costed kernel simulation, one cell per kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::t5;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for kernel in t5::kernel_list() {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", format!("{} {:?}", kernel.name, kernel.dims)),
+            &kernel,
+            |b, k| b.iter(|| t5::evaluate(black_box(k))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

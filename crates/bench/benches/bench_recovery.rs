@@ -1,0 +1,59 @@
+//! T1 companion: wall-clock cost of the index-recovery schemes over a
+//! 2^20-iteration space at several nest depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_space::{recover_ceiling_into, recover_divmod_into, Odometer};
+
+fn bench_recovery(c: &mut Criterion) {
+    let shapes: Vec<(usize, Vec<u64>)> = vec![
+        (2, vec![1024, 1024]),
+        (3, vec![128, 128, 64]),
+        (4, vec![32, 32, 32, 32]),
+    ];
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(20);
+    for (depth, dims) in shapes {
+        let n: u64 = dims.iter().product();
+        group.bench_with_input(BenchmarkId::new("ceiling", depth), &dims, |b, dims| {
+            b.iter(|| {
+                let mut buf = Vec::new();
+                let mut acc = 0i64;
+                for j in 1..=n as i64 {
+                    recover_ceiling_into(black_box(j), dims, &mut buf);
+                    acc ^= buf[0];
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("divmod", depth), &dims, |b, dims| {
+            b.iter(|| {
+                let mut buf = Vec::new();
+                let mut acc = 0i64;
+                for j in 1..=n as i64 {
+                    recover_divmod_into(black_box(j), dims, &mut buf);
+                    acc ^= buf[0];
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("odometer", depth), &dims, |b, dims| {
+            b.iter(|| {
+                let mut odo = Odometer::new(dims);
+                let mut acc = 0i64;
+                loop {
+                    acc ^= odo.indices()[0];
+                    if !odo.advance() {
+                        break;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! F5 companion: real-thread matmul under the three runtime executors.
+//!
+//! Wall-clock and host dependent by design — this is the bench that shows
+//! the transformation working on actual hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lc_runtime::{coalesced_for, inner_sweep_for, outer_for, RuntimeOptions};
+use lc_sched::policy::PolicyKind;
+use lc_workloads::rt::{gen_a, gen_b, matmul_cell, AtomicMatrix};
+
+const N: usize = 128;
+const M: usize = 128;
+const K: usize = 48;
+
+fn bench_runtime(c: &mut Criterion) {
+    let a = gen_a(N, K);
+    let b_mat = gen_b(K, M);
+    let out = AtomicMatrix::zeroed(N, M);
+    let dims = [N as u64, M as u64];
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+
+    let mut group = c.benchmark_group("runtime_matmul");
+    group.sample_size(10);
+
+    for policy in [PolicyKind::Guided, PolicyKind::Chunked(64), PolicyKind::SelfSched] {
+        group.bench_with_input(
+            BenchmarkId::new("coalesced", policy.name()),
+            &policy,
+            |bch, &policy| {
+                let opts = RuntimeOptions { threads, policy };
+                bch.iter(|| {
+                    coalesced_for(&dims, &opts, |iv| matmul_cell(&a, &b_mat, &out, K, iv))
+                })
+            },
+        );
+    }
+    group.bench_function("outer/GSS", |bch| {
+        let opts = RuntimeOptions {
+            threads,
+            policy: PolicyKind::Guided,
+        };
+        bch.iter(|| outer_for(&dims, &opts, |iv| matmul_cell(&a, &b_mat, &out, K, iv)))
+    });
+    group.bench_function("inner_sweep/SS", |bch| {
+        let opts = RuntimeOptions {
+            threads,
+            policy: PolicyKind::SelfSched,
+        };
+        bch.iter(|| inner_sweep_for(&dims, &opts, |iv| matmul_cell(&a, &b_mat, &out, K, iv)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

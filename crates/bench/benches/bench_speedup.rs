@@ -1,0 +1,20 @@
+//! F1 companion: one simulated speedup cell per execution mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_bench::experiments::f1;
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(15);
+    for (name, mode) in f1::modes() {
+        group.bench_with_input(BenchmarkId::new("p16", name), &mode, |b, &mode| {
+            b.iter(|| f1::speedup(black_box(mode), 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

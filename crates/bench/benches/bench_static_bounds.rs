@@ -1,0 +1,33 @@
+//! T3 companion: cost of the exhaustive best-allocation search and the
+//! closed-form coalesced bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_sched::bounds::{best_processor_allocation, coalesced_block_length};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_bounds");
+    group.sample_size(30);
+    for (dims, p) in [
+        (vec![33u64, 17], 32u64),
+        (vec![10, 12, 14], 64),
+        (vec![6, 6, 6, 6], 64),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("best_allocation", format!("{dims:?}/p{p}")),
+            &(dims.clone(), p),
+            |b, (dims, p)| b.iter(|| best_processor_allocation(black_box(dims), *p)),
+        );
+        let n: u64 = dims.iter().product();
+        group.bench_with_input(
+            BenchmarkId::new("coalesced_bound", format!("{dims:?}/p{p}")),
+            &p,
+            |b, p| b.iter(|| coalesced_block_length(black_box(n), *p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all          # everything
+//! experiments T1 T3 F4     # a subset
+//! experiments --json all   # machine-readable output
+//! experiments --list       # what exists
+//! ```
+
+use lc_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, desc, _) in registry() {
+            println!("  {id}  {desc}");
+        }
+        return;
+    }
+
+    let json = args.iter().any(|a| a == "--json");
+    let run_all = args.iter().any(|a| a.eq_ignore_ascii_case("all"));
+    let mut matched = 0;
+    let mut json_tables = Vec::new();
+    for (id, desc, runner) in registry() {
+        let wanted = run_all || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+        if !wanted {
+            continue;
+        }
+        matched += 1;
+        eprintln!("running {id}: {desc} ...");
+        for table in runner() {
+            if json {
+                json_tables.push(table.to_json());
+            } else {
+                println!("{table}");
+            }
+        }
+    }
+    if json && matched > 0 {
+        println!("[{}]", json_tables.join(","));
+    }
+    if matched == 0 {
+        eprintln!("no experiment matched {args:?}");
+        print_usage();
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: experiments [--json] [all | --list | T1..T4 F1..F6 A1 ...]");
+    eprintln!("regenerates the evaluation tables/figures; see DESIGN.md section 4");
+}

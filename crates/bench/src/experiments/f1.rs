@@ -1,0 +1,141 @@
+//! **F1 — speedup vs processors, scheduler × dispatch-shape matrix.**
+//!
+//! A 64×64 uniform nest (body = 100 abstract ops) swept over
+//! `p = 1..64`. Series: coalesced with SS / CSS(16) / GSS / static block,
+//! outer-parallel with SS, and inner-parallel-sweep with SS. The paper's
+//! qualitative picture: all coalesced variants track near-ideal speedup;
+//! the fork-join-per-instance shape saturates early; outer-parallel
+//! tracks until `p` approaches `N_1`.
+
+use lc_machine::cost::CostModel;
+use lc_machine::exec::{simulate_nest, ExecMode, NestResult};
+use lc_machine::metrics::Metrics;
+use lc_machine::sim::LoopSchedule;
+use lc_sched::policy::{PolicyKind, StaticKind};
+use lc_xform::recovery::{per_iteration_cost, RecoveryScheme};
+
+use crate::table::Table;
+
+const DIMS: [u64; 2] = [64, 64];
+const BODY: u64 = 100;
+
+/// The processor counts swept.
+pub fn procs() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64]
+}
+
+/// The compared execution modes (name, mode) for a given machine.
+pub fn modes() -> Vec<(&'static str, ExecMode)> {
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    vec![
+        ("COAL/SS", ExecMode::coalesced(PolicyKind::SelfSched, rec)),
+        (
+            "COAL/CSS16",
+            ExecMode::coalesced(PolicyKind::Chunked(16), rec),
+        ),
+        ("COAL/GSS", ExecMode::coalesced(PolicyKind::Guided, rec)),
+        (
+            "COAL/BLOCK",
+            ExecMode::Coalesced {
+                schedule: LoopSchedule::Static(StaticKind::Block),
+                recovery_cost: rec,
+            },
+        ),
+        (
+            "OUTER/SS",
+            ExecMode::OuterParallel {
+                schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            },
+        ),
+        (
+            "INNER/SS",
+            ExecMode::InnerParallelSweep {
+                schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            },
+        ),
+    ]
+}
+
+/// Run one cell of the matrix.
+pub fn speedup(mode: ExecMode, p: usize) -> f64 {
+    let cost = CostModel::default();
+    let body = |_: &[i64]| BODY;
+    let seq = simulate_nest(&DIMS, 1, ExecMode::Sequential, &cost, &body).makespan;
+    let r: NestResult = simulate_nest(&DIMS, p, mode, &cost, &body);
+    Metrics::compute(seq, &r, p).speedup
+}
+
+/// Build the figure's series table.
+pub fn run() -> Vec<Table> {
+    let mode_list = modes();
+    let mut headers: Vec<&str> = vec!["p", "ideal"];
+    headers.extend(mode_list.iter().map(|(n, _)| *n));
+    let mut t = Table::new(
+        "F1",
+        format!("speedup vs processors, {DIMS:?} nest, body={BODY} ops"),
+        &headers,
+    );
+    for p in procs() {
+        let mut row = vec![p.to_string(), p.to_string()];
+        for (_, mode) in &mode_list {
+            row.push(format!("{:.2}", speedup(*mode, p)));
+        }
+        t.row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_gss_tracks_ideal_speedup() {
+        let t = &run()[0];
+        for r in 0..t.rows.len() {
+            let p = t.cell_f64(r, "p").unwrap();
+            let s = t.cell_f64(r, "COAL/GSS").unwrap();
+            assert!(s > 0.75 * p, "p={p}: GSS speedup {s} below 75% of ideal");
+        }
+    }
+
+    #[test]
+    fn inner_sweep_saturates_far_below_ideal() {
+        let t = &run()[0];
+        let last = t.rows.len() - 1;
+        let p = t.cell_f64(last, "p").unwrap();
+        let inner = t.cell_f64(last, "INNER/SS").unwrap();
+        let coal = t.cell_f64(last, "COAL/GSS").unwrap();
+        assert!(
+            inner < 0.8 * coal,
+            "fork-join-per-instance should trail badly at p={p}: {inner} vs {coal}"
+        );
+    }
+
+    #[test]
+    fn speedups_are_monotone_in_p_for_coalesced() {
+        let t = &run()[0];
+        for series in ["COAL/GSS", "COAL/BLOCK"] {
+            let vals: Vec<f64> = (0..t.rows.len())
+                .map(|r| t.cell_f64(r, series).unwrap())
+                .collect();
+            assert!(
+                vals.windows(2).all(|w| w[1] >= w[0] * 0.99),
+                "{series} not monotone: {vals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outer_parallel_matches_coalesced_until_p_approaches_n1() {
+        let t = &run()[0];
+        // At p=64 = N1, outer-parallel has exactly one outer iteration per
+        // processor — no slack for imbalance but uniform work, so it stays
+        // close; the coalesced loop must never lose to it by much, and at
+        // p=64 both should be within 25%.
+        let last = t.rows.len() - 1;
+        let outer = t.cell_f64(last, "OUTER/SS").unwrap();
+        let coal = t.cell_f64(last, "COAL/GSS").unwrap();
+        assert!((outer - coal).abs() / coal < 0.25, "{outer} vs {coal}");
+    }
+}

@@ -1,0 +1,171 @@
+//! **F3 — GSS chunk decay and makespan under irregular work.**
+//!
+//! Two views of guided self-scheduling on a coalesced loop:
+//!
+//! 1. the chunk-size sequence for `N = 1000` at several processor counts
+//!    (the geometric decay curve of the GSS paper), and
+//! 2. makespans of the policy matrix on a coalesced 64×64 loop whose body
+//!    cost is random / bimodal — the regime where big static chunks lose
+//!    and pure SS drowns in dispatch, leaving GSS/factoring in front.
+
+use lc_machine::cost::CostModel;
+use lc_machine::exec::{simulate_nest, ExecMode};
+use lc_machine::sim::LoopSchedule;
+use lc_sched::policy::{Dispenser, PolicyKind, StaticKind};
+use lc_workloads::itertime::WorkModel;
+use lc_xform::recovery::{per_iteration_cost, RecoveryScheme};
+
+use crate::table::Table;
+
+/// Chunk sizes GSS hands out for `n` iterations on `p` processors.
+pub fn gss_chunks(n: u64, p: usize) -> Vec<u64> {
+    Dispenser::with_kind(n, p, PolicyKind::Guided)
+        .drain()
+        .iter()
+        .map(|c| c.len)
+        .collect()
+}
+
+const DIMS: [u64; 2] = [64, 64];
+const P: usize = 16;
+
+/// The irregular workloads compared.
+pub fn workloads() -> Vec<WorkModel> {
+    vec![
+        WorkModel::Random {
+            base: 10,
+            spread: 200,
+            seed: 7,
+        },
+        WorkModel::Bimodal {
+            light: 10,
+            heavy: 1000,
+            heavy_every: 13,
+        },
+        WorkModel::Constant(100),
+    ]
+}
+
+/// The policy matrix on the coalesced loop.
+pub fn policies() -> Vec<(&'static str, LoopSchedule)> {
+    vec![
+        ("SS", LoopSchedule::Dynamic(PolicyKind::SelfSched)),
+        ("CSS(64)", LoopSchedule::Dynamic(PolicyKind::Chunked(64))),
+        ("GSS", LoopSchedule::Dynamic(PolicyKind::Guided)),
+        ("TSS", LoopSchedule::Dynamic(PolicyKind::Trapezoid)),
+        ("FAC", LoopSchedule::Dynamic(PolicyKind::Factoring)),
+        ("BLOCK", LoopSchedule::Static(StaticKind::Block)),
+    ]
+}
+
+/// Makespan of one (workload, policy) cell.
+pub fn makespan(model: WorkModel, schedule: LoopSchedule) -> u64 {
+    let cost = CostModel::default();
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    let body = move |iv: &[i64]| model.cost(iv);
+    simulate_nest(
+        &DIMS,
+        P,
+        ExecMode::Coalesced {
+            schedule,
+            recovery_cost: rec,
+        },
+        &cost,
+        &body,
+    )
+    .makespan
+}
+
+/// Build the tables.
+pub fn run() -> Vec<Table> {
+    let mut decay = Table::new(
+        "F3",
+        "GSS chunk-size sequence, N=1000",
+        &["dispatch #", "p=4", "p=16"],
+    );
+    let c4 = gss_chunks(1000, 4);
+    let c16 = gss_chunks(1000, 16);
+    for i in 0..c4.len().max(c16.len()).min(24) {
+        decay.row(vec![
+            (i + 1).to_string(),
+            c4.get(i).map(|v| v.to_string()).unwrap_or_default(),
+            c16.get(i).map(|v| v.to_string()).unwrap_or_default(),
+        ]);
+    }
+
+    let pol = policies();
+    let mut headers: Vec<&str> = vec!["workload"];
+    headers.extend(pol.iter().map(|(n, _)| *n));
+    let mut mk = Table::new(
+        "F3",
+        format!("coalesced-loop makespan by policy, {DIMS:?}, p={P}"),
+        &headers,
+    );
+    for model in workloads() {
+        let mut row = vec![model.name()];
+        for (_, schedule) in &pol {
+            row.push(makespan(model, *schedule).to_string());
+        }
+        mk.row(row);
+    }
+    vec![decay, mk]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gss_chunks_decay_and_sum_to_n() {
+        for p in [4usize, 16] {
+            let chunks = gss_chunks(1000, p);
+            assert_eq!(chunks.iter().sum::<u64>(), 1000);
+            assert!(chunks.windows(2).all(|w| w[0] >= w[1]), "{chunks:?}");
+            assert_eq!(chunks[0], 1000u64.div_ceil(p as u64));
+        }
+    }
+
+    #[test]
+    fn gss_beats_ss_and_block_on_random_work() {
+        let model = workloads()[0];
+        let gss = makespan(model, LoopSchedule::Dynamic(PolicyKind::Guided));
+        let ss = makespan(model, LoopSchedule::Dynamic(PolicyKind::SelfSched));
+        let block = makespan(model, LoopSchedule::Static(StaticKind::Block));
+        assert!(gss < ss, "GSS {gss} !< SS {ss}");
+        assert!(gss <= block, "GSS {gss} !<= BLOCK {block}");
+    }
+
+    #[test]
+    fn dynamic_policies_beat_block_on_bimodal_work() {
+        // The bimodal spikes cluster on whole rows (the period applies to
+        // the outer index), so adaptive decaying policies beat BLOCK but
+        // fixed CSS(64) — one row per chunk — cannot.
+        let model = workloads()[1];
+        let block = makespan(model, LoopSchedule::Static(StaticKind::Block));
+        for kind in [PolicyKind::Guided, PolicyKind::Trapezoid, PolicyKind::Factoring] {
+            let m = makespan(model, LoopSchedule::Dynamic(kind));
+            assert!(m < block, "{kind:?} {m} !< BLOCK {block}");
+        }
+    }
+
+    #[test]
+    fn pure_ss_wins_on_row_clustered_spikes() {
+        // Heavy iterations arrive in runs of 64 (whole rows): only the
+        // finest-grained dispatch splits a run across processors, so SS
+        // decisively beats every chunked policy here — the counterpoint
+        // to the uniform-work case where SS drowns in dispatch cost.
+        let model = workloads()[1];
+        let ss = makespan(model, LoopSchedule::Dynamic(PolicyKind::SelfSched));
+        let gss = makespan(model, LoopSchedule::Dynamic(PolicyKind::Guided));
+        assert!(ss < gss, "SS {ss} !< GSS {gss}");
+    }
+
+    #[test]
+    fn on_uniform_work_all_reasonable_policies_are_close() {
+        let model = workloads()[2]; // constant
+        let gss = makespan(model, LoopSchedule::Dynamic(PolicyKind::Guided));
+        let block = makespan(model, LoopSchedule::Static(StaticKind::Block));
+        let ratio = gss as f64 / block as f64;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,21 @@
+//! One module per table/figure of the reconstructed evaluation.
+//!
+//! Naming follows `DESIGN.md` §4: `T*` are tables (analytic counts and
+//! bounds), `F*` are figures (sweeps producing series). Every module
+//! exposes `run() -> Vec<Table>` and carries tests asserting the
+//! qualitative claim the paper makes for that experiment — who wins, in
+//! which direction, and where the crossover falls.
+
+pub mod a1;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod f7;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;

@@ -1,0 +1,128 @@
+//! **T1 — index-recovery cost per scheme and nest depth.**
+//!
+//! The paper's overhead argument hinges on index recovery being cheap
+//! relative to dispatch savings. This table reports, for depth `m = 1..6`
+//! (uniform dims, fixed total N):
+//!
+//! * the abstract per-iteration op cost of the **ceiling** formula as
+//!   emitted (constant-folded),
+//! * the same after **CSE** (shared `⌈j/P⌉` terms hoisted — the paper's
+//!   strength-reduction remark),
+//! * the **div/mod** mapping's cost,
+//! * the **odometer**'s amortized digit updates per iteration (valid for
+//!   chunked dispatch).
+
+use lc_space::Odometer;
+use lc_xform::recovery::{per_iteration_cost, recovery_stmts, RecoveryScheme};
+use lc_xform::strength::cse_recovery;
+
+use crate::table::Table;
+
+/// Uniform test dims for a given depth: total ≈ 4096.
+pub fn dims_for_depth(m: usize) -> Vec<u64> {
+    let per = match m {
+        1 => 4096,
+        2 => 64,
+        3 => 16,
+        4 => 8,
+        6 => 4,
+        _ => (4096f64.powf(1.0 / m as f64)).round() as u64,
+    };
+    vec![per; m]
+}
+
+/// Ceiling-scheme cost after CSE of shared division terms.
+pub fn ceiling_cse_cost(dims: &[u64]) -> u64 {
+    let j = lc_ir::Symbol::new("j");
+    let vars: Vec<lc_ir::Symbol> = (0..dims.len())
+        .map(|k| lc_ir::Symbol::new(format!("i{k}")))
+        .collect();
+    let stmts = recovery_stmts(RecoveryScheme::Ceiling, &j, &vars, dims);
+    let (_, report) = cse_recovery(&stmts, "t");
+    report.cost_after
+}
+
+/// Amortized odometer digit updates per iteration over a full sweep.
+pub fn odometer_updates_per_iter(dims: &[u64]) -> f64 {
+    let mut odo = Odometer::new(dims);
+    while odo.advance() {}
+    let s = odo.stats();
+    if s.advances == 0 {
+        0.0
+    } else {
+        s.digit_updates as f64 / s.advances as f64
+    }
+}
+
+/// Build the table.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "T1",
+        "per-iteration index-recovery cost (abstract ops) vs nest depth",
+        &[
+            "depth",
+            "dims",
+            "ceiling",
+            "ceiling+CSE",
+            "divmod",
+            "odometer upd/iter",
+        ],
+    );
+    for m in [1usize, 2, 3, 4, 6] {
+        let dims = dims_for_depth(m);
+        t.row(vec![
+            m.to_string(),
+            format!("{dims:?}"),
+            per_iteration_cost(RecoveryScheme::Ceiling, &dims).to_string(),
+            ceiling_cse_cost(&dims).to_string(),
+            per_iteration_cost(RecoveryScheme::DivMod, &dims).to_string(),
+            format!("{:.3}", odometer_updates_per_iter(&dims)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_grow_with_depth_but_odometer_stays_constant() {
+        let tables = run();
+        let t = &tables[0];
+        let ceiling: Vec<f64> = (0..t.rows.len())
+            .map(|r| t.cell_f64(r, "ceiling").unwrap())
+            .collect();
+        assert!(
+            ceiling.windows(2).all(|w| w[0] <= w[1]),
+            "ceiling cost must be non-decreasing in depth: {ceiling:?}"
+        );
+        // The odometer is amortized O(1) regardless of depth.
+        for r in 0..t.rows.len() {
+            let upd = t.cell_f64(r, "odometer upd/iter").unwrap();
+            assert!(upd < 2.0, "odometer amortized bound violated: {upd}");
+        }
+    }
+
+    #[test]
+    fn cse_never_hurts_and_helps_at_depth() {
+        let tables = run();
+        let t = &tables[0];
+        for r in 0..t.rows.len() {
+            let raw = t.cell_f64(r, "ceiling").unwrap();
+            let cse = t.cell_f64(r, "ceiling+CSE").unwrap();
+            assert!(cse <= raw, "CSE made things worse at row {r}");
+        }
+        // At depth >= 3 the shared ceiling terms produce real savings.
+        let raw3 = t.cell_f64(2, "ceiling").unwrap();
+        let cse3 = t.cell_f64(2, "ceiling+CSE").unwrap();
+        assert!(cse3 < raw3, "expected CSE savings at depth 3");
+    }
+
+    #[test]
+    fn depth_one_recovery_is_nearly_free() {
+        let tables = run();
+        let t = &tables[0];
+        assert!(t.cell_f64(0, "ceiling").unwrap() <= 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! **T2 — dispatch/synchronization operations: nested vs coalesced.**
+//!
+//! The paper's central count: executing a nest with per-level
+//! self-scheduling pays a fetch&add per iteration *per level instance*
+//! plus a barrier per loop instance, while the coalesced loop pays one
+//! counter and one barrier. Rows sweep nest shapes and processor counts;
+//! columns give total synchronized operations for nested, outer-only, and
+//! coalesced dispatch under SS and GSS.
+
+use lc_sched::dispatch::{coalesced_dispatch, nested_dispatch, outer_only_dispatch};
+use lc_sched::policy::PolicyKind;
+
+use crate::table::Table;
+
+/// Shapes and processor counts the table sweeps.
+pub fn cases() -> Vec<(Vec<u64>, usize)> {
+    vec![
+        (vec![100, 100], 4),
+        (vec![100, 100], 16),
+        (vec![100, 100], 64),
+        (vec![10, 10, 10], 16),
+        (vec![4, 4, 4, 4], 16),
+        (vec![32, 8, 4], 16),
+    ]
+}
+
+/// Build the table.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "T2",
+        "synchronization operations (fetch&adds + barriers) per nest execution",
+        &[
+            "dims",
+            "p",
+            "nested SS",
+            "outer SS",
+            "coal SS",
+            "coal GSS",
+            "nested/coal",
+        ],
+    );
+    for (dims, p) in cases() {
+        let nested = nested_dispatch(&dims, p, PolicyKind::SelfSched).total_sync_ops();
+        let outer = outer_only_dispatch(&dims, p, PolicyKind::SelfSched).total_sync_ops();
+        let coal = coalesced_dispatch(&dims, p, PolicyKind::SelfSched).total_sync_ops();
+        let coal_gss = coalesced_dispatch(&dims, p, PolicyKind::Guided).total_sync_ops();
+        t.row(vec![
+            format!("{dims:?}"),
+            p.to_string(),
+            nested.to_string(),
+            outer.to_string(),
+            coal.to_string(),
+            coal_gss.to_string(),
+            format!("{:.1}", nested as f64 / coal as f64),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_always_beats_nested() {
+        let t = &run()[0];
+        for r in 0..t.rows.len() {
+            let nested = t.cell_f64(r, "nested SS").unwrap();
+            let coal = t.cell_f64(r, "coal SS").unwrap();
+            assert!(coal < nested, "row {r}: {coal} !< {nested}");
+        }
+    }
+
+    #[test]
+    fn gss_beats_ss_on_sync_traffic() {
+        let t = &run()[0];
+        for r in 0..t.rows.len() {
+            let ss = t.cell_f64(r, "coal SS").unwrap();
+            let gss = t.cell_f64(r, "coal GSS").unwrap();
+            assert!(gss < ss, "row {r}");
+        }
+    }
+
+    #[test]
+    fn savings_ratio_grows_with_depth() {
+        let t = &run()[0];
+        // rows 1 (100x100, p=16) vs 3 (10x10x10, p=16) vs 4 (4^4, p=16):
+        // same-order iteration counts, deeper nests → larger ratio.
+        let r2 = t.cell_f64(1, "nested/coal").unwrap();
+        let r3 = t.cell_f64(3, "nested/coal").unwrap();
+        let r4 = t.cell_f64(4, "nested/coal").unwrap();
+        assert!(r3 > r2 * 0.9, "depth-3 ratio unexpectedly small");
+        assert!(r4 > r3, "ratio must grow with depth: {r3} !< {r4}");
+    }
+
+    #[test]
+    fn outer_only_is_cheapest_on_sync_but_limited() {
+        // Outer-only dispatch has the fewest sync ops (it only dispatches
+        // N1) — the paper's point is that it loses on *balance*, not on
+        // sync count; F1/F2 show the balance side.
+        let t = &run()[0];
+        for r in 0..t.rows.len() {
+            let outer = t.cell_f64(r, "outer SS").unwrap();
+            let coal = t.cell_f64(r, "coal SS").unwrap();
+            assert!(outer <= coal, "row {r}");
+        }
+    }
+}

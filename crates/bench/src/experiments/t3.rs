@@ -1,0 +1,122 @@
+//! **T3 — static schedule length: `⌈N/p⌉` vs the best nested allocation.**
+//!
+//! The paper's schedule-length theorem: for every per-dimension processor
+//! allocation `Π p_k ≤ p`, the coalesced block schedule's critical path
+//! `⌈N/p⌉` is no longer than the nested one `Π ⌈N_k/p_k⌉`. The table
+//! compares against the *optimal* allocation (exhaustive search), reports
+//! the gap, and a final summary row sweeps a grid of shapes to count how
+//! often the inequality is strict.
+
+use lc_sched::bounds::{best_processor_allocation, coalesced_block_length};
+
+use crate::table::Table;
+
+/// The showcased shapes.
+pub fn cases() -> Vec<(Vec<u64>, u64)> {
+    vec![
+        (vec![8, 8], 16),   // perfect fit: tie
+        (vec![5, 5], 4),    // classic misfit
+        (vec![7, 11], 8),   // prime trip counts
+        (vec![3, 40], 8),   // narrow outer dimension
+        (vec![33, 17], 32), // both dimensions misfit
+        (vec![4, 5, 6], 12),
+        (vec![10, 2, 7], 16),
+    ]
+}
+
+/// Sweep a grid and count strict wins for coalescing.
+pub fn sweep_stats() -> (u64, u64, u64) {
+    let (mut cases_n, mut ties, mut wins) = (0, 0, 0);
+    for n1 in 2..=24u64 {
+        for n2 in 2..=24u64 {
+            for p in [2u64, 4, 8, 16] {
+                let n = n1 * n2;
+                let c = coalesced_block_length(n, p);
+                let (_, nested) = best_processor_allocation(&[n1, n2], p);
+                assert!(c <= nested, "theorem violated at {n1}x{n2} p={p}");
+                cases_n += 1;
+                if c == nested {
+                    ties += 1;
+                } else {
+                    wins += 1;
+                }
+            }
+        }
+    }
+    (cases_n, ties, wins)
+}
+
+/// Build the tables.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "T3",
+        "static block-schedule length (body executions on the critical path)",
+        &["dims", "p", "coalesced", "best nested", "best alloc", "gap %"],
+    );
+    for (dims, p) in cases() {
+        let n: u64 = dims.iter().product();
+        let c = coalesced_block_length(n, p);
+        let (alloc, nested) = best_processor_allocation(&dims, p);
+        t.row(vec![
+            format!("{dims:?}"),
+            p.to_string(),
+            c.to_string(),
+            nested.to_string(),
+            format!("{alloc:?}"),
+            format!("{:.1}", 100.0 * (nested - c) as f64 / nested as f64),
+        ]);
+    }
+
+    let (cases_n, ties, wins) = sweep_stats();
+    let mut s = Table::new(
+        "T3",
+        "sweep 2..=24 x 2..=24, p in {2,4,8,16}: coalesced vs best nested",
+        &["cases", "ties", "coalesced strictly shorter", "win %"],
+    );
+    s.row(vec![
+        cases_n.to_string(),
+        ties.to_string(),
+        wins.to_string(),
+        format!("{:.1}", 100.0 * wins as f64 / cases_n as f64),
+    ]);
+    vec![t, s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_holds_on_showcased_rows() {
+        let t = &run()[0];
+        for r in 0..t.rows.len() {
+            let c = t.cell_f64(r, "coalesced").unwrap();
+            let nested = t.cell_f64(r, "best nested").unwrap();
+            assert!(c <= nested, "row {r}");
+        }
+    }
+
+    #[test]
+    fn perfect_fit_ties_and_misfit_wins() {
+        let t = &run()[0];
+        // Row 0: 8x8 on 16 — tie.
+        assert_eq!(
+            t.cell_f64(0, "coalesced"),
+            t.cell_f64(0, "best nested")
+        );
+        // Row 2: 7x11 on 8 — strict win.
+        assert!(t.cell_f64(2, "coalesced").unwrap() < t.cell_f64(2, "best nested").unwrap());
+    }
+
+    #[test]
+    fn sweep_finds_many_strict_wins() {
+        let (cases_n, ties, wins) = sweep_stats();
+        assert_eq!(cases_n, ties + wins);
+        // Misfit shapes dominate a dense grid: coalescing wins strictly in
+        // a substantial fraction of cases.
+        assert!(
+            wins as f64 / cases_n as f64 > 0.3,
+            "{wins}/{cases_n} strict wins"
+        );
+    }
+}

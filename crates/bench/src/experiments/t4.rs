@@ -1,0 +1,164 @@
+//! **T4 — granularity crossover: the body size where coalescing pays.**
+//!
+//! Dispatch and recovery overheads mean a parallel loop only beats
+//! sequential execution above a minimum iteration size (the era's
+//! *lower-bound granularity*). The table sweeps constant body cost `S`
+//! for a small 8×8 nest on p = 16 — deliberately narrow (`N_1 < p`) so
+//! outer-parallel cannot use all processors — on a machine with 4×
+//! synchronization costs, and reports the simulated makespans of
+//! sequential, outer-parallel, and coalesced (SS and GSS) execution plus
+//! the winner; the second table extracts the crossover points.
+
+use lc_machine::cost::CostModel;
+use lc_machine::exec::{simulate_nest, ExecMode};
+use lc_machine::sim::LoopSchedule;
+use lc_sched::policy::PolicyKind;
+use lc_xform::recovery::{per_iteration_cost, RecoveryScheme};
+
+use crate::table::Table;
+
+/// The swept body sizes.
+pub fn body_sizes() -> Vec<u64> {
+    vec![0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+}
+
+const DIMS: [u64; 2] = [8, 8];
+const P: usize = 16;
+
+/// Makespans for a given body size: (seq, outer-SS, coal-SS, coal-GSS).
+pub fn makespans(s: u64) -> (u64, u64, u64, u64) {
+    let cost = CostModel::default().scaled(4);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    let body = move |_: &[i64]| s;
+    let seq = simulate_nest(&DIMS, 1, ExecMode::Sequential, &cost, &body).makespan;
+    let outer = simulate_nest(
+        &DIMS,
+        P,
+        ExecMode::OuterParallel {
+            schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+        },
+        &cost,
+        &body,
+    )
+    .makespan;
+    let coal_ss = simulate_nest(
+        &DIMS,
+        P,
+        ExecMode::coalesced(PolicyKind::SelfSched, rec),
+        &cost,
+        &body,
+    )
+    .makespan;
+    let coal_gss = simulate_nest(
+        &DIMS,
+        P,
+        ExecMode::coalesced(PolicyKind::Guided, rec),
+        &cost,
+        &body,
+    )
+    .makespan;
+    (seq, outer, coal_ss, coal_gss)
+}
+
+/// Smallest swept body size where coalesced-GSS beats sequential.
+pub fn crossover_vs_sequential() -> Option<u64> {
+    body_sizes()
+        .into_iter()
+        .find(|&s| makespans(s).3 < makespans(s).0)
+}
+
+/// Build the tables.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "T4",
+        format!(
+            "makespan (abstract instructions) vs body size, {DIMS:?} nest, p={P}"
+        ),
+        &["body S", "SEQ", "OUTER/SS", "COAL/SS", "COAL/GSS", "winner"],
+    );
+    for s in body_sizes() {
+        let (seq, outer, coal_ss, coal_gss) = makespans(s);
+        let min = seq.min(outer).min(coal_ss).min(coal_gss);
+        let winner = if min == seq {
+            "SEQ"
+        } else if min == coal_gss {
+            "COAL/GSS"
+        } else if min == coal_ss {
+            "COAL/SS"
+        } else {
+            "OUTER/SS"
+        };
+        t.row(vec![
+            s.to_string(),
+            seq.to_string(),
+            outer.to_string(),
+            coal_ss.to_string(),
+            coal_gss.to_string(),
+            winner.to_string(),
+        ]);
+    }
+
+    let mut c = Table::new(
+        "T4",
+        "crossover points (smallest swept body size S)",
+        &["comparison", "S*"],
+    );
+    c.row(vec![
+        "COAL/GSS beats SEQ".into(),
+        crossover_vs_sequential()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "never".into()),
+    ]);
+    let css = body_sizes()
+        .into_iter()
+        .find(|&s| makespans(s).2 < makespans(s).0);
+    c.row(vec![
+        "COAL/SS beats SEQ".into(),
+        css.map(|s| s.to_string()).unwrap_or_else(|| "never".into()),
+    ]);
+    vec![t, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bodies_favor_sequential() {
+        let (seq, _, coal_ss, _) = makespans(0);
+        assert!(seq < coal_ss, "empty bodies cannot amortize dispatch");
+    }
+
+    #[test]
+    fn large_bodies_favor_coalescing() {
+        let (seq, outer, coal_ss, coal_gss) = makespans(1024);
+        assert!(coal_ss < seq);
+        assert!(coal_gss < seq);
+        // With only N1 = 8 outer iterations for p = 16 processors,
+        // outer-parallel is capped at 8x while coalescing exposes all 64
+        // iterations — it must win.
+        assert!(coal_gss < outer, "gss {coal_gss} !< outer {outer}");
+        // And come within 2x of the ideal seq/16 critical path.
+        assert!(coal_gss < seq / 8, "gss {coal_gss} vs seq {seq}");
+    }
+
+    #[test]
+    fn crossover_exists_and_is_small() {
+        let s = crossover_vs_sequential().expect("a crossover must exist");
+        assert!(
+            (1..=64).contains(&s),
+            "crossover {s} outside the expected small-body range"
+        );
+    }
+
+    #[test]
+    fn gss_crossover_not_later_than_ss() {
+        // GSS amortizes dispatch, so it starts paying off no later than SS.
+        let gss = crossover_vs_sequential().unwrap();
+        let ss = body_sizes()
+            .into_iter()
+            .find(|&s| makespans(s).2 < makespans(s).0)
+            .unwrap();
+        assert!(gss <= ss, "gss {gss} vs ss {ss}");
+    }
+}

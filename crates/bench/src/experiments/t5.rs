@@ -1,0 +1,182 @@
+//! **T5 — per-kernel simulated speedups with IR-derived costs.**
+//!
+//! The other experiments use synthetic cost models; this table closes the
+//! loop: each workload kernel's per-iteration cost is *measured* by
+//! executing one iteration of its actual IR under the interpreter's op
+//! accounting, and those costs drive the machine simulator. Columns give
+//! the simulated speedup at p = 16 of coalesced-GSS, outer-parallel, and
+//! fork-join-per-instance execution, plus the compiler-reported recovery
+//! cost for the kernel's band.
+
+use lc_machine::cost::CostModel;
+use lc_machine::exec::{simulate_nest, ExecMode};
+use lc_machine::sim::LoopSchedule;
+use lc_sched::policy::PolicyKind;
+use lc_workloads::kernels::{self, Kernel};
+use lc_workloads::simcost::IrBodyCost;
+use lc_xform::recovery::{per_iteration_cost, RecoveryScheme};
+
+use crate::table::Table;
+
+const P: usize = 16;
+
+/// The kernels examined (sized so the experiment stays fast). The two
+/// `narrow` variants have `N1 < p`, the regime where outer-only
+/// parallelism starves and coalescing is the only way to feed the
+/// machine.
+pub fn kernel_list() -> Vec<Kernel> {
+    vec![
+        kernels::matmul(16, 16, 8),
+        kernels::matmul(4, 64, 8), // narrow outer: N1 = 4 < p
+        kernels::gauss_jordan_backsub(16, 12),
+        kernels::stencil2d(16, 16),
+        kernels::stencil2d(3, 85), // narrow outer
+        kernels::triangular_mask(16),
+        kernels::cube_fill(8, 8, 4),
+    ]
+}
+
+/// Simulated result for one kernel: (mean body ops, coal, outer, inner).
+pub fn evaluate(kernel: &Kernel) -> (f64, f64, f64, f64) {
+    let oracle = IrBodyCost::new(kernel).expect("kernel supports IR costing");
+    let dims = kernel.dims.clone();
+    let n: u64 = dims.iter().product();
+    let cost = CostModel::default();
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+    let body = |iv: &[i64]| oracle.cost(iv);
+
+    let seq = simulate_nest(&dims, 1, ExecMode::Sequential, &cost, &body).makespan;
+    let coal = simulate_nest(
+        &dims,
+        P,
+        ExecMode::coalesced(PolicyKind::Guided, rec),
+        &cost,
+        &body,
+    )
+    .makespan;
+    let outer = simulate_nest(
+        &dims,
+        P,
+        ExecMode::OuterParallel {
+            schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+        },
+        &cost,
+        &body,
+    )
+    .makespan;
+    let inner = if dims.len() >= 2 {
+        simulate_nest(
+            &dims,
+            P,
+            ExecMode::InnerParallelSweep {
+                schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            },
+            &cost,
+            &body,
+        )
+        .makespan
+    } else {
+        coal
+    };
+
+    let mean_body = oracle.total(&dims) as f64 / n as f64;
+    (
+        mean_body,
+        seq as f64 / coal as f64,
+        seq as f64 / outer as f64,
+        seq as f64 / inner as f64,
+    )
+}
+
+/// Build the table.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "T5",
+        format!("simulated speedup per kernel (IR-measured body costs), p={P}"),
+        &[
+            "kernel",
+            "mean body ops",
+            "COAL/GSS",
+            "OUTER/SS",
+            "INNER/SS",
+        ],
+    );
+    for kernel in kernel_list() {
+        let (mean_body, coal, outer, inner) = evaluate(&kernel);
+        t.row(vec![
+            format!("{} {:?}", kernel.name, kernel.dims),
+            format!("{mean_body:.1}"),
+            format!("{coal:.2}"),
+            format!("{outer:.2}"),
+            format!("{inner:.2}"),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_speeds_up_under_coalescing() {
+        for kernel in kernel_list() {
+            let (_, coal, ..) = evaluate(&kernel);
+            assert!(coal > 2.0, "{}: coalesced speedup only {coal:.2}", kernel.name);
+        }
+    }
+
+    #[test]
+    fn matmul_coalescing_is_near_ideal() {
+        let (mean_body, coal, ..) = evaluate(&kernels::matmul(16, 16, 8));
+        // The k-reduction makes iterations fat (~8*(3+1+1+1+2)+… ops), so
+        // recovery overhead is negligible and speedup approaches p.
+        assert!(mean_body > 40.0, "matmul body unexpectedly thin: {mean_body}");
+        assert!(coal > 10.0, "matmul coalesced speedup {coal:.2}");
+    }
+
+    #[test]
+    fn coalescing_beats_fork_join_on_every_multilevel_kernel() {
+        for kernel in kernel_list() {
+            if kernel.dims.len() < 2 {
+                continue;
+            }
+            let (_, coal, _, inner) = evaluate(&kernel);
+            assert!(
+                coal > inner,
+                "{}: coal {coal:.2} !> inner {inner:.2}",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn thin_bodies_favor_outer_parallelism_the_granularity_caveat() {
+        // With IR-real (thin) bodies and N1 = p, outer-parallel pays no
+        // recovery cost and wins — the same granularity boundary T4 maps
+        // with synthetic costs. Coalescing is not a free lunch.
+        let (mean_body, coal, outer, _) = evaluate(&kernels::triangular_mask(16));
+        assert!(mean_body < 10.0, "premise: thin body ({mean_body:.1})");
+        assert!(
+            outer > coal,
+            "thin-body kernel should favor outer: coal {coal:.2} vs outer {outer:.2}"
+        );
+    }
+
+    #[test]
+    fn narrow_outer_dimension_is_where_coalescing_wins() {
+        // N1 = 4 < p = 16: outer-parallel caps at 4x; the coalesced pool
+        // feeds all 16 processors.
+        let (_, coal, outer, _) = evaluate(&kernels::matmul(4, 64, 8));
+        assert!(outer < 5.0, "outer cannot exceed N1: {outer:.2}");
+        assert!(
+            coal > 2.0 * outer,
+            "narrow-outer matmul: coal {coal:.2} !>> outer {outer:.2}"
+        );
+        let (_, coal_s, outer_s, _) = evaluate(&kernels::stencil2d(3, 85));
+        assert!(
+            coal_s > outer_s,
+            "narrow-outer stencil: coal {coal_s:.2} !> outer {outer_s:.2}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! `lc-bench` — the experiment harness.
+//!
+//! Each module under [`experiments`] regenerates one table or figure of
+//! the (reconstructed) evaluation; see `DESIGN.md` §4 for the experiment
+//! index and `EXPERIMENTS.md` for expected-vs-measured. The `experiments`
+//! binary prints any subset:
+//!
+//! ```text
+//! cargo run -p lc-bench --release --bin experiments -- all
+//! cargo run -p lc-bench --release --bin experiments -- T1 F4
+//! ```
+//!
+//! The Criterion benches (`cargo bench -p lc-bench`) time the
+//! computational cores of the same experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// An experiment entry: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> Vec<Table>);
+
+/// The experiment registry.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        (
+            "T1",
+            "index-recovery cost per scheme and nest depth",
+            experiments::t1::run,
+        ),
+        (
+            "T2",
+            "dispatch/synchronization operations: nested vs coalesced",
+            experiments::t2::run,
+        ),
+        (
+            "T3",
+            "static schedule length: ceil(N/p) vs best nested allocation",
+            experiments::t3::run,
+        ),
+        (
+            "T4",
+            "granularity crossover: body size where coalescing pays",
+            experiments::t4::run,
+        ),
+        (
+            "T5",
+            "per-kernel simulated speedups with IR-measured body costs",
+            experiments::t5::run,
+        ),
+        (
+            "F1",
+            "speedup vs processors, scheduler x dispatch-shape matrix",
+            experiments::f1::run,
+        ),
+        (
+            "F2",
+            "load imbalance vs processors on triangular work",
+            experiments::f2::run,
+        ),
+        (
+            "F3",
+            "GSS chunk decay and makespan under irregular work",
+            experiments::f3::run,
+        ),
+        (
+            "F4",
+            "overhead vs nest depth at fixed N",
+            experiments::f4::run,
+        ),
+        (
+            "F5",
+            "real-thread wall-clock speedup (host machine)",
+            experiments::f5::run,
+        ),
+        (
+            "F6",
+            "legality boundary: doacross pipelining vs interchange+coalesce",
+            experiments::f6::run,
+        ),
+        (
+            "F7",
+            "locality vs dispatch granularity (chunking ablation)",
+            experiments::f7::run,
+        ),
+        (
+            "A1",
+            "collapse-band advisor vs exhaustive simulation (ablation)",
+            experiments::a1::run,
+        ),
+    ]
+}
+
+/// Look up and run one experiment by id (case-insensitive).
+pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
+    registry()
+        .into_iter()
+        .find(|(eid, _, _)| eid.eq_ignore_ascii_case(id))
+        .map(|(_, _, f)| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_complete() {
+        let reg = registry();
+        assert_eq!(reg.len(), 13);
+        let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(run_experiment("t3").is_some());
+        assert!(run_experiment("T3").is_some());
+        assert!(run_experiment("nope").is_none());
+    }
+}

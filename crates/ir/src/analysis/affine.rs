@@ -1,0 +1,205 @@
+//! Affine (linear + constant) forms of subscript expressions.
+//!
+//! Dependence testing only handles subscripts of the shape
+//! `c0 + c1*i1 + c2*i2 + …`; this module extracts that shape from an
+//! [`Expr`] when possible.
+
+use std::collections::BTreeMap;
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::symbol::Symbol;
+
+/// `constant + Σ coeff(var) · var` over `i64` coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// The constant term.
+    pub constant: i64,
+    /// Per-variable coefficients (zero coefficients are not stored).
+    pub terms: BTreeMap<Symbol, i64>,
+}
+
+impl Affine {
+    /// The constant affine form `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The single-variable form `1 · var`.
+    pub fn var(v: impl Into<Symbol>) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(v.into(), 1);
+        Affine { constant: 0, terms }
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: &Symbol) -> i64 {
+        self.terms.get(var).copied().unwrap_or(0)
+    }
+
+    /// True when the form has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn insert(&mut self, var: Symbol, coeff: i64) -> Option<()> {
+        if coeff == 0 {
+            return Some(());
+        }
+        let slot = self.terms.entry(var).or_insert(0);
+        *slot = slot.checked_add(coeff)?;
+        if *slot == 0 {
+            // Keep the invariant that zero coefficients are absent.
+            let zero_keys: Vec<Symbol> = self
+                .terms
+                .iter()
+                .filter(|(_, &c)| c == 0)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in zero_keys {
+                self.terms.remove(&k);
+            }
+        }
+        Some(())
+    }
+
+    /// `self + other`, `None` on coefficient overflow.
+    pub fn add(&self, other: &Affine) -> Option<Affine> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(other.constant)?;
+        for (v, &c) in &other.terms {
+            out.insert(v.clone(), c)?;
+        }
+        Some(out)
+    }
+
+    /// `self - other`, `None` on coefficient overflow.
+    pub fn sub(&self, other: &Affine) -> Option<Affine> {
+        self.add(&other.scale(-1)?)
+    }
+
+    /// `k · self`, `None` on coefficient overflow. (Infallible for `k = ±1`
+    /// except at `i64::MIN`.)
+    pub fn scale(&self, k: i64) -> Option<Affine> {
+        let mut out = Affine::constant(self.constant.checked_mul(k)?);
+        for (v, &c) in &self.terms {
+            out.insert(v.clone(), c.checked_mul(k)?)?;
+        }
+        Some(out)
+    }
+
+    /// Evaluate the form given a variable valuation; variables missing from
+    /// `lookup` make the evaluation fail.
+    pub fn eval(&self, lookup: impl Fn(&Symbol) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (v, &c) in &self.terms {
+            acc = acc.checked_add(c.checked_mul(lookup(v)?)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Extract an affine form from an expression. Returns `None` when the
+    /// expression is not affine (products of variables, division, array
+    /// reads, min/max, …).
+    pub fn from_expr(e: &Expr) -> Option<Affine> {
+        match e {
+            Expr::Const(v) => Some(Affine::constant(*v)),
+            Expr::Var(s) => Some(Affine::var(s.clone())),
+            Expr::Read(_) => None,
+            Expr::Unary(UnOp::Neg, a) => Affine::from_expr(a)?.scale(-1),
+            Expr::Binary(op, a, b) => {
+                let fa = Affine::from_expr(a);
+                let fb = Affine::from_expr(b);
+                match op {
+                    BinOp::Add => fa?.add(&fb?),
+                    BinOp::Sub => fa?.sub(&fb?),
+                    BinOp::Mul => {
+                        let fa = fa?;
+                        let fb = fb?;
+                        if fa.is_constant() {
+                            fb.scale(fa.constant)
+                        } else if fb.is_constant() {
+                            fa.scale(fb.constant)
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Div | BinOp::Mod | BinOp::CeilDiv | BinOp::Min | BinOp::Max => None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn affine(src: &str) -> Option<Affine> {
+        Affine::from_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn extracts_linear_subscript() {
+        let a = affine("2 * i + 3 * j - 4").unwrap();
+        assert_eq!(a.constant, -4);
+        assert_eq!(a.coeff(&Symbol::new("i")), 2);
+        assert_eq!(a.coeff(&Symbol::new("j")), 3);
+        assert_eq!(a.coeff(&Symbol::new("k")), 0);
+    }
+
+    #[test]
+    fn extracts_nested_scaling() {
+        // 3 * (i - 2) == 3i - 6
+        let a = affine("3 * (i - 2)").unwrap();
+        assert_eq!(a.constant, -6);
+        assert_eq!(a.coeff(&Symbol::new("i")), 3);
+    }
+
+    #[test]
+    fn coefficient_cancellation_removes_term() {
+        let a = affine("i - i + 5").unwrap();
+        assert!(a.is_constant());
+        assert_eq!(a.constant, 5);
+    }
+
+    #[test]
+    fn rejects_products_of_variables() {
+        assert!(affine("i * j").is_none());
+    }
+
+    #[test]
+    fn rejects_division_and_reads() {
+        assert!(affine("i / 2").is_none());
+        assert!(affine("min(i, j)").is_none());
+    }
+
+    #[test]
+    fn negation_scales_by_minus_one() {
+        let a = affine("-(2 * i + 1)").unwrap();
+        assert_eq!(a.constant, -1);
+        assert_eq!(a.coeff(&Symbol::new("i")), -2);
+    }
+
+    #[test]
+    fn eval_matches_interpreter_semantics() {
+        let a = affine("2 * i + 3 * j - 4").unwrap();
+        let v = a
+            .eval(|s| match s.as_str() {
+                "i" => Some(5),
+                "j" => Some(7),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 2 * 5 + 3 * 7 - 4);
+    }
+
+    #[test]
+    fn eval_fails_on_missing_variable() {
+        let a = affine("i + j").unwrap();
+        assert_eq!(a.eval(|_| None), None);
+    }
+}

@@ -1,0 +1,19 @@
+//! Static analyses over the IR: perfect-nest extraction, affine subscript
+//! forms, and dependence testing for DOALL legality.
+//!
+//! The loop-coalescing transformation has two preconditions that these
+//! analyses establish:
+//!
+//! 1. the candidate loops form a **perfect nest** with known (or
+//!    normalizable) rectangular bounds ([`nest`]);
+//! 2. every coalesced level is **DOALL-legal** — it carries no data
+//!    dependence ([`depend`], built on the affine machinery of
+//!    [`affine`]).
+
+pub mod affine;
+pub mod depend;
+pub mod nest;
+
+pub use affine::Affine;
+pub use depend::{analyze_nest, DepKind, Dependence, Dir, NestDeps};
+pub use nest::{extract_nest, LoopHeader, Nest};

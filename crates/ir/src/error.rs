@@ -1,0 +1,126 @@
+//! Error type shared across the IR crates.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// Convenient alias used throughout `lc-ir` and `lc-xform`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong while parsing, analyzing, transforming, or
+/// executing an IR program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Integer division or modulus by zero during evaluation.
+    DivisionByZero,
+    /// Arithmetic overflowed `i64` during evaluation.
+    Overflow,
+    /// A scalar variable was read before being assigned.
+    UnboundVariable(Symbol),
+    /// An array was referenced but never declared.
+    UnknownArray(Symbol),
+    /// An array was declared twice.
+    DuplicateArray(Symbol),
+    /// An array access used the wrong number of subscripts.
+    RankMismatch {
+        /// The array involved.
+        array: Symbol,
+        /// Declared rank.
+        expected: usize,
+        /// Number of subscripts supplied.
+        got: usize,
+    },
+    /// A subscript evaluated outside the declared extent.
+    OutOfBounds {
+        /// The array involved.
+        array: Symbol,
+        /// Which subscript position (0-based).
+        dim: usize,
+        /// The offending value.
+        index: i64,
+        /// The declared extent of that dimension.
+        extent: usize,
+    },
+    /// The interpreter exceeded its configured step budget.
+    StepBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A loop has a zero step expression.
+    ZeroStep(Symbol),
+    /// Parse error with a human-readable message and 1-based line number.
+    Parse {
+        /// 1-based line where the error was detected.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An analysis or transformation precondition failed.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DivisionByZero => write!(f, "division by zero"),
+            Error::Overflow => write!(f, "integer overflow"),
+            Error::UnboundVariable(s) => write!(f, "unbound variable `{s}`"),
+            Error::UnknownArray(s) => write!(f, "unknown array `{s}`"),
+            Error::DuplicateArray(s) => write!(f, "array `{s}` declared twice"),
+            Error::RankMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array `{array}` has rank {expected} but was accessed with {got} subscripts"
+            ),
+            Error::OutOfBounds {
+                array,
+                dim,
+                index,
+                extent,
+            } => write!(
+                f,
+                "subscript {index} out of bounds for dimension {dim} of `{array}` (extent {extent}, valid 1..={extent})"
+            ),
+            Error::StepBudgetExceeded { budget } => {
+                write!(f, "interpreter exceeded step budget of {budget}")
+            }
+            Error::ZeroStep(s) => write!(f, "loop over `{s}` has step 0"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::OutOfBounds {
+            array: Symbol::new("A"),
+            dim: 1,
+            index: 9,
+            extent: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("A") && msg.contains("9") && msg.contains("8"));
+
+        let e = Error::Parse {
+            line: 3,
+            message: "expected `..`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::DivisionByZero);
+    }
+}

@@ -1,0 +1,333 @@
+//! Pretty-printer producing DSL text that re-parses to the same program.
+
+use std::fmt::Write as _;
+
+use crate::expr::{ArrayRef, BinOp, CmpOp, Cond, Expr, UnOp};
+use crate::program::Program;
+use crate::stmt::{Loop, LoopKind, Stmt};
+
+/// Render a whole program as DSL source.
+pub fn print_program(prog: &Program) -> String {
+    let mut out = String::new();
+    for a in &prog.arrays {
+        let _ = write!(out, "array {}", a.name);
+        for d in &a.dims {
+            let _ = write!(out, "[{d}]");
+        }
+        out.push_str(";\n");
+    }
+    for s in &prog.body {
+        print_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+/// Render a single statement (with trailing newline).
+pub fn print_stmt_str(s: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt(&mut out, s, 0);
+    out
+}
+
+/// Render an expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(&mut out, e, 0);
+    out
+}
+
+/// Render a condition.
+pub fn print_cond(c: &Cond) -> String {
+    let mut out = String::new();
+    cond(&mut out, c, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::AssignScalar { var, value } => {
+            indent(out, level);
+            let _ = writeln!(out, "{var} = {};", print_expr(value));
+        }
+        Stmt::AssignArray { target, value } => {
+            indent(out, level);
+            array_ref(out, target);
+            let _ = writeln!(out, " = {};", print_expr(value));
+        }
+        Stmt::Loop(l) => print_loop(out, l, level),
+        Stmt::If {
+            cond: c,
+            then_body,
+            else_body,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if {} {{", print_cond(c));
+            for s in then_body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    print_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn print_loop(out: &mut String, l: &Loop, level: usize) {
+    indent(out, level);
+    match l.kind {
+        LoopKind::Doacross { delay } => {
+            let _ = write!(out, "doacross({delay}) ");
+        }
+        k => {
+            let _ = write!(out, "{} ", k.keyword());
+        }
+    }
+    let _ = write!(
+        out,
+        "{} = {}..{}",
+        l.var,
+        print_expr(&l.lower),
+        print_expr(&l.upper)
+    );
+    if l.step.as_const() != Some(1) {
+        let _ = write!(out, " step {}", print_expr(&l.step));
+    }
+    out.push_str(" {\n");
+    for s in &l.body {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push_str("}\n");
+}
+
+fn array_ref(out: &mut String, r: &ArrayRef) {
+    let _ = write!(out, "{}", r.array);
+    for ix in &r.indices {
+        let _ = write!(out, "[{}]", print_expr(ix));
+    }
+}
+
+/// Binding power of the operator context; used to decide parenthesization.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 2,
+        // Rendered as calls, so precedence never matters:
+        BinOp::Min | BinOp::Max | BinOp::CeilDiv => 3,
+    }
+}
+
+fn expr(out: &mut String, e: &Expr, min_prec: u8) {
+    match e {
+        Expr::Const(v) => {
+            if *v < 0 {
+                // The lexer has no negative literals, but the parser folds
+                // a parenthesized unary minus over a literal back into a
+                // constant, so `(-k)` round-trips to exactly this node.
+                let _ = write!(out, "(-{})", v.unsigned_abs());
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Var(s) => {
+            let _ = write!(out, "{s}");
+        }
+        Expr::Read(r) => array_ref(out, r),
+        Expr::Unary(UnOp::Neg, a) => {
+            out.push_str("(-");
+            expr(out, a, 3);
+            out.push(')');
+        }
+        Expr::Binary(op @ (BinOp::Min | BinOp::Max | BinOp::CeilDiv), a, b) => {
+            let name = match op {
+                BinOp::Min => "min",
+                BinOp::Max => "max",
+                _ => "ceildiv",
+            };
+            let _ = write!(out, "{name}(");
+            expr(out, a, 0);
+            out.push_str(", ");
+            expr(out, b, 0);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            let p = prec(*op);
+            let needs_parens = p < min_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            expr(out, a, p);
+            let sym = match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Div => " / ",
+                BinOp::Mod => " % ",
+                _ => unreachable!(),
+            };
+            out.push_str(sym);
+            // Right operand needs one more level for non-associative ops.
+            expr(out, b, p + 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn cond(out: &mut String, c: &Cond, min_prec: u8) {
+    match c {
+        Cond::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            let _ = write!(out, "{} {sym} {}", print_expr(a), print_expr(b));
+        }
+        Cond::Not(inner) => {
+            out.push_str("!(");
+            cond(out, inner, 0);
+            out.push(')');
+        }
+        Cond::And(a, b) => {
+            let needs = min_prec > 2;
+            if needs {
+                out.push('(');
+            }
+            cond(out, a, 2);
+            out.push_str(" && ");
+            // The parser is left-associative: a right-nested And/Or must
+            // keep its parentheses or reparse with flipped grouping.
+            cond(out, b, 3);
+            if needs {
+                out.push(')');
+            }
+        }
+        Cond::Or(a, b) => {
+            let needs = min_prec > 1;
+            if needs {
+                out.push('(');
+            }
+            cond(out, a, 1);
+            out.push_str(" || ");
+            cond(out, b, 2);
+            if needs {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn roundtrip_program(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reprint failed to parse: {e}\n---\n{printed}"));
+        assert_eq!(p1, p2, "round trip changed the program:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_nest() {
+        roundtrip_program(
+            "
+            array A[4][8];
+            doall i = 1..4 {
+                doall j = 1..8 {
+                    A[i][j] = 10 * i + j;
+                }
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn roundtrip_if_and_step() {
+        roundtrip_program(
+            "
+            array A[9];
+            for i = 1..9 step 2 {
+                if i % 3 == 0 || i == 1 {
+                    A[i] = min(i, 5);
+                } else {
+                    A[i] = ceildiv(i, 2);
+                }
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn roundtrip_doacross_and_scalar() {
+        roundtrip_program(
+            "
+            array A[5];
+            t = 3;
+            doacross(1) i = 1..5 {
+                A[i] = t;
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn expr_parenthesization_preserves_value() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "10 - (3 - 2)",
+            "10 - 3 - 2",
+            "20 / 3 / 2",
+            "20 / (3 / 2)",
+            "ceildiv(7, 2) * max(1, 2)",
+        ] {
+            let e1 = parse_expr(src).unwrap();
+            let printed = print_expr(&e1);
+            let e2 = parse_expr(&printed).unwrap();
+            assert_eq!(
+                e1.fold(),
+                e2.fold(),
+                "value changed: `{src}` -> `{printed}`"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_constants_roundtrip() {
+        let e = Expr::Const(-7) + Expr::var("x");
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(e2.fold(), (Expr::Const(-7) + Expr::var("x")).fold());
+    }
+
+    #[test]
+    fn subtraction_right_operand_parenthesized() {
+        // 10 - (3 - 2) must not print as 10 - 3 - 2.
+        let e = Expr::lit(10) - (Expr::lit(3) - Expr::lit(2));
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(reparsed.fold(), Expr::Const(9));
+    }
+}

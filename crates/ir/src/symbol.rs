@@ -1,0 +1,104 @@
+//! Cheap-to-clone identifiers for variables and arrays.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-style identifier.
+///
+/// Symbols are reference-counted strings: cloning a `Symbol` is a pointer
+/// copy, which matters because the transformation passes clone loop
+/// variables freely while rewriting bodies.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Create a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// View the symbol as a `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equality_and_display() {
+        let a = Symbol::new("i");
+        let b: Symbol = "i".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "i");
+        assert_eq!(a, *"i");
+    }
+
+    #[test]
+    fn clone_is_same_pointer() {
+        let a = Symbol::new("long_variable_name");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn usable_as_map_key_via_str_borrow() {
+        let mut m: HashMap<Symbol, i64> = HashMap::new();
+        m.insert(Symbol::new("n"), 7);
+        assert_eq!(m.get("n"), Some(&7));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Symbol::new("j"), Symbol::new("i"), Symbol::new("k")];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["i", "j", "k"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! A corpus of DSL programs covering the grammar's corners, each executed
+//! and checked against hand-computed results — the parser/interpreter
+//! contract, pinned.
+
+use lc_ir::interp::Interp;
+use lc_ir::parser::parse_program;
+
+fn run(src: &str) -> lc_ir::interp::Store {
+    let p = parse_program(src).unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{src}"));
+    Interp::new()
+        .run(&p)
+        .unwrap_or_else(|e| panic!("execution failed: {e}\n---\n{src}"))
+}
+
+#[test]
+fn fibonacci_via_recurrence() {
+    let store = run("
+        array F[12];
+        F[1] = 1;
+        F[2] = 1;
+        for i = 3..12 {
+            F[i] = F[i - 1] + F[i - 2];
+        }
+    ");
+    assert_eq!(store.get("F", &[12]).unwrap(), 144);
+}
+
+#[test]
+fn nested_triangular_guard() {
+    // Count cells at or below the diagonal of an 8x8 grid.
+    let store = run("
+        array C[1];
+        c = 0;
+        for i = 1..8 {
+            for j = 1..8 {
+                if j <= i {
+                    c = c + 1;
+                }
+            }
+        }
+        C[1] = c;
+    ");
+    assert_eq!(store.get("C", &[1]).unwrap(), 36);
+}
+
+#[test]
+fn strided_descending_loop() {
+    let store = run("
+        array A[20];
+        for i = 19..1 step -2 {
+            A[i] = i * i;
+        }
+    ");
+    assert_eq!(store.get("A", &[19]).unwrap(), 361);
+    assert_eq!(store.get("A", &[1]).unwrap(), 1);
+    assert_eq!(store.get("A", &[2]).unwrap(), 0); // untouched
+}
+
+#[test]
+fn builtins_compose() {
+    let store = run("
+        array R[4];
+        R[1] = min(3 * 4, ceildiv(25, 2));
+        R[2] = max(-5, -2);
+        R[3] = ceildiv(min(9, 10), max(2, 3));
+        R[4] = min(1, 2) + max(1, 2) * ceildiv(5, 5);
+    ");
+    assert_eq!(store.get("R", &[1]).unwrap(), 12); // min(12, 13)
+    assert_eq!(store.get("R", &[2]).unwrap(), -2);
+    assert_eq!(store.get("R", &[3]).unwrap(), 3); // ceildiv(9, 3)
+    assert_eq!(store.get("R", &[4]).unwrap(), 3);
+}
+
+#[test]
+fn floor_semantics_for_negatives() {
+    let store = run("
+        array R[4];
+        R[1] = (-7) / 2;
+        R[2] = (-7) % 2;
+        R[3] = 7 / -2;
+        R[4] = ceildiv(-7, 2);
+    ");
+    assert_eq!(store.get("R", &[1]).unwrap(), -4); // floor
+    assert_eq!(store.get("R", &[2]).unwrap(), 1); // floor mod
+    assert_eq!(store.get("R", &[3]).unwrap(), -4);
+    assert_eq!(store.get("R", &[4]).unwrap(), -3); // ceiling
+}
+
+#[test]
+fn matrix_transpose_roundtrip() {
+    let store = run("
+        array M[5][7];
+        array T[7][5];
+        array D[5][7];
+        doall i = 1..5 {
+            doall j = 1..7 {
+                M[i][j] = i * 10 + j;
+            }
+        }
+        doall i = 1..5 {
+            doall j = 1..7 {
+                T[j][i] = M[i][j];
+            }
+        }
+        doall i = 1..5 {
+            doall j = 1..7 {
+                D[i][j] = T[j][i] - M[i][j];
+            }
+        }
+    ");
+    for i in 1..=5 {
+        for j in 1..=7 {
+            assert_eq!(store.get("D", &[i, j]).unwrap(), 0);
+        }
+    }
+}
+
+#[test]
+fn condition_precedence_and_not() {
+    // `a || b && c` must parse as a || (b && c).
+    let store = run("
+        array R[2];
+        doall i = 1..2 {
+            if i == 1 || i == 2 && i == 3 {
+                R[i] = 1;
+            } else {
+                R[i] = 0;
+            }
+        }
+    ");
+    assert_eq!(store.get("R", &[1]).unwrap(), 1);
+    assert_eq!(store.get("R", &[2]).unwrap(), 0);
+}
+
+#[test]
+fn deeply_nested_five_levels() {
+    let store = run("
+        array C[1];
+        c = 0;
+        for a = 1..2 {
+            for b = 1..2 {
+                for d = 1..2 {
+                    for e = 1..2 {
+                        for f = 1..2 {
+                            c = c + 1;
+                        }
+                    }
+                }
+            }
+        }
+        C[1] = c;
+    ");
+    assert_eq!(store.get("C", &[1]).unwrap(), 32);
+}
+
+#[test]
+fn loop_bounds_from_array_elements() {
+    let store = run("
+        array N[1];
+        array A[10];
+        N[1] = 6;
+        for i = 1..N[1] {
+            A[i] = i;
+        }
+    ");
+    assert_eq!(store.get("A", &[6]).unwrap(), 6);
+    assert_eq!(store.get("A", &[7]).unwrap(), 0);
+}
+
+#[test]
+fn doacross_executes_like_serial_in_the_interpreter() {
+    let store = run("
+        array A[6];
+        A[1] = 1;
+        doacross(1) i = 2..6 {
+            A[i] = A[i - 1] * 2;
+        }
+    ");
+    assert_eq!(store.get("A", &[6]).unwrap(), 32); // 2^5
+}
+
+#[test]
+fn comments_everywhere() {
+    let store = run("
+        // leading comment
+        array A[2]; // trailing
+        // between statements
+        A[1] = 1; // after a statement
+        A[2] = A[1] // inside an expression? no — before the semicolon
+            + 1;
+    ");
+    assert_eq!(store.get("A", &[2]).unwrap(), 2);
+}
+
+#[test]
+fn shadowed_loop_variable_in_inner_scope() {
+    let store = run("
+        array A[3][3];
+        for i = 1..3 {
+            for i = 1..3 {
+                A[i][i] = A[i][i] + 1;
+            }
+        }
+    ");
+    // The inner loop runs 3 times per outer iteration; A[k][k] += 1 each
+    // inner pass, 3 outer passes → diagonal = 3.
+    assert_eq!(store.get("A", &[2, 2]).unwrap(), 3);
+    assert_eq!(store.get("A", &[1, 2]).unwrap(), 0);
+}
+
+#[test]
+fn whitespace_insensitivity() {
+    let a = run("array A[3];doall i=1..3{A[i]=i*2;}");
+    let b = run("array A[3];\n\n  doall   i = 1 .. 3 {\n\tA[ i ] = i * 2 ;\n}\n");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,241 @@
+//! Property test: `parse(print(p))` preserves every program, for randomly
+//! generated programs covering the whole statement and expression grammar.
+//!
+//! Comparison is modulo constant folding: the printer renders negative
+//! literals as `(0 - k)` (the DSL has no negative literals), which
+//! re-parses as a subtraction node; folding both sides removes exactly
+//! that difference and nothing else.
+
+use proptest::prelude::*;
+
+use lc_ir::expr::{ArrayRef, BinOp, CmpOp, Cond, Expr, UnOp};
+use lc_ir::parser::parse_program;
+use lc_ir::printer::print_program;
+use lc_ir::program::Program;
+use lc_ir::stmt::{Loop, LoopKind, Stmt};
+use lc_ir::Symbol;
+
+// ---------------------------------------------------------------- strategies
+
+const SCALARS: &[&str] = &["i", "j", "k", "x", "y", "tmp"];
+
+fn var_name() -> impl Strategy<Value = Symbol> {
+    proptest::sample::select(SCALARS).prop_map(Symbol::new)
+}
+
+/// Subscript count: A has rank 1, B rank 2 (fixed by the program shell).
+fn array_pick() -> impl Strategy<Value = (Symbol, usize)> {
+    prop_oneof![
+        Just((Symbol::new("A"), 1usize)),
+        Just((Symbol::new("B"), 2usize)),
+    ]
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-30i64..=30).prop_map(Expr::Const),
+        var_name().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (
+                proptest::sample::select(&[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Mod,
+                    BinOp::CeilDiv,
+                    BinOp::Min,
+                    BinOp::Max,
+                ][..]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            (array_pick(), proptest::collection::vec(inner, 2))
+                .prop_map(|((name, rank), subs)| Expr::Read(ArrayRef::new(
+                    name,
+                    subs.into_iter().take(rank).collect()
+                ))),
+        ]
+    })
+    .boxed()
+}
+
+fn cond(depth: u32) -> BoxedStrategy<Cond> {
+    let leaf = (
+        proptest::sample::select(&[
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ][..]),
+        expr(2),
+        expr(2),
+    )
+        .prop_map(|(op, a, b)| Cond::Cmp(op, a, b));
+    leaf.prop_recursive(depth, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|c| Cond::Not(Box::new(c))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+    .boxed()
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = prop_oneof![
+        (var_name(), expr(3)).prop_map(|(v, e)| Stmt::AssignScalar { var: v, value: e }),
+        (array_pick(), proptest::collection::vec(expr(2), 2), expr(3)).prop_map(
+            |((name, rank), subs, value)| Stmt::AssignArray {
+                target: ArrayRef::new(name, subs.into_iter().take(rank).collect()),
+                value,
+            }
+        ),
+    ];
+    assign
+        .prop_recursive(depth, 16, 3, |inner| {
+            let body = proptest::collection::vec(inner.clone(), 1..3);
+            prop_oneof![
+                (
+                    var_name(),
+                    -5i64..=5,
+                    1i64..=8,
+                    prop_oneof![
+                        Just(LoopKind::Serial),
+                        Just(LoopKind::Doall),
+                        (0u32..3).prop_map(|d| LoopKind::Doacross { delay: d }),
+                    ],
+                    proptest::sample::select(&[1i64, 2, 3, -1][..]),
+                    body.clone()
+                )
+                    .prop_map(|(v, lo, span, kind, step, body)| {
+                        // Bounds consistent with the step sign so printing
+                        // round-trips an executable-looking loop.
+                        let (lower, upper) = if step > 0 {
+                            (lo, lo + span)
+                        } else {
+                            (lo + span, lo)
+                        };
+                        Stmt::Loop(Loop {
+                            var: v,
+                            lower: Expr::lit(lower),
+                            upper: Expr::lit(upper),
+                            step: Expr::lit(step),
+                            kind,
+                            body,
+                        })
+                    }),
+                (cond(2), body.clone(), proptest::collection::vec(inner, 0..2)).prop_map(
+                    |(c, t, e)| Stmt::If {
+                        cond: c,
+                        then_body: t,
+                        else_body: e,
+                    }
+                ),
+            ]
+        })
+        .boxed()
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(stmt(3), 1..4).prop_map(|body| {
+        let mut p = Program::new()
+            .with_array("A", vec![10])
+            .with_array("B", vec![6, 6]);
+        p.body = body;
+        p
+    })
+}
+
+// ------------------------------------------------------------- normalization
+
+fn norm_expr(e: &Expr) -> Expr {
+    e.fold()
+}
+
+fn norm_cond(c: &Cond) -> Cond {
+    match c {
+        Cond::Cmp(op, a, b) => Cond::Cmp(*op, norm_expr(a), norm_expr(b)),
+        Cond::Not(x) => Cond::Not(Box::new(norm_cond(x))),
+        Cond::And(a, b) => Cond::And(Box::new(norm_cond(a)), Box::new(norm_cond(b))),
+        Cond::Or(a, b) => Cond::Or(Box::new(norm_cond(a)), Box::new(norm_cond(b))),
+    }
+}
+
+fn norm_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::AssignScalar { var, value } => Stmt::AssignScalar {
+            var: var.clone(),
+            value: norm_expr(value),
+        },
+        Stmt::AssignArray { target, value } => Stmt::AssignArray {
+            target: ArrayRef {
+                array: target.array.clone(),
+                indices: target.indices.iter().map(norm_expr).collect(),
+            },
+            value: norm_expr(value),
+        },
+        Stmt::Loop(l) => Stmt::Loop(Loop {
+            var: l.var.clone(),
+            lower: norm_expr(&l.lower),
+            upper: norm_expr(&l.upper),
+            step: norm_expr(&l.step),
+            kind: l.kind,
+            body: l.body.iter().map(norm_stmt).collect(),
+        }),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
+            cond: norm_cond(cond),
+            then_body: then_body.iter().map(norm_stmt).collect(),
+            else_body: else_body.iter().map(norm_stmt).collect(),
+        },
+    }
+}
+
+fn norm_program(p: &Program) -> Program {
+    let mut out = p.clone();
+    out.body = p.body.iter().map(norm_stmt).collect();
+    out
+}
+
+// -------------------------------------------------------------------- tests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(p in program()) {
+        let printed = print_program(&p);
+        let reparsed = parse_program(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n---\n{printed}")))?;
+        prop_assert_eq!(
+            norm_program(&p),
+            norm_program(&reparsed),
+            "round trip changed the program:\n{}",
+            printed
+        );
+    }
+
+    #[test]
+    fn printing_is_deterministic_and_idempotent(p in program()) {
+        let once = print_program(&p);
+        let twice = print_program(&parse_program(&once).unwrap());
+        prop_assert_eq!(&once, &print_program(&p));
+        // Printing a reparsed program reproduces the same text exactly
+        // (the printer is a normal form for parsed programs).
+        let thrice = print_program(&parse_program(&twice).unwrap());
+        prop_assert_eq!(twice, thrice);
+    }
+}

@@ -1,0 +1,113 @@
+//! The machine's cost model, in abstract instruction units.
+//!
+//! Unit choice follows the paper's era: costs are *counts of abstract
+//! machine instructions*, not nanoseconds, so comparisons are architecture
+//! independent and exactly reproducible. The defaults are loosely
+//! calibrated to the overhead ratios reported for fetch&add machines of
+//! the period (a synchronized combining-network access costs several times
+//! a local ALU op; a barrier costs a couple of network round-trips; a fork
+//! costs hundreds of instructions of setup).
+
+/// Abstract instruction costs for the simulated multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// One synchronized fetch&add on a shared dispatch counter.
+    pub fetch_add: u64,
+    /// Cost each participant pays to cross a barrier (join).
+    pub barrier: u64,
+    /// Cost to initiate (fork) a parallel loop instance: scheduling the
+    /// team, distributing the loop descriptor.
+    pub fork: u64,
+    /// Per-iteration loop bookkeeping (index increment + bounds test) —
+    /// the `O_seq = 2` of classic overhead analyses.
+    pub loop_overhead: u64,
+    /// Surcharge a processor pays when the iteration it is about to run is
+    /// *not* the successor of the one it just finished (a cold cache line /
+    /// lost spatial locality). Zero by default; setting it models the
+    /// classic locality argument for chunked dispatch: SS scatters
+    /// consecutive iterations across processors, CSS/GSS keep runs
+    /// together.
+    pub locality_miss: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            fetch_add: 8,
+            barrier: 16,
+            fork: 100,
+            loop_overhead: 2,
+            locality_miss: 0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A frictionless machine (all overheads zero) — useful to isolate
+    /// load-balance effects from overhead effects in experiments.
+    pub fn free() -> Self {
+        CostModel {
+            fetch_add: 0,
+            barrier: 0,
+            fork: 0,
+            loop_overhead: 0,
+            locality_miss: 0,
+        }
+    }
+
+    /// Uniform scaling of every overhead component (e.g. to sweep "how
+    /// expensive is synchronization on this machine").
+    pub fn scaled(self, factor: u64) -> Self {
+        CostModel {
+            fetch_add: self.fetch_add * factor,
+            barrier: self.barrier * factor,
+            fork: self.fork * factor,
+            loop_overhead: self.loop_overhead, // body-side, not sync-side
+            locality_miss: self.locality_miss,
+        }
+    }
+
+    /// The default model with a locality-miss surcharge (builder style).
+    pub fn with_locality_miss(mut self, miss: u64) -> Self {
+        self.locality_miss = miss;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_orders_overheads_sensibly() {
+        let c = CostModel::default();
+        assert!(c.fork > c.barrier);
+        assert!(c.barrier > c.fetch_add);
+        assert!(c.fetch_add > c.loop_overhead);
+    }
+
+    #[test]
+    fn free_is_all_zero() {
+        let c = CostModel::free();
+        assert_eq!(
+            c.fetch_add + c.barrier + c.fork + c.loop_overhead + c.locality_miss,
+            0
+        );
+    }
+
+    #[test]
+    fn locality_builder_sets_only_the_miss_cost() {
+        let c = CostModel::default().with_locality_miss(25);
+        assert_eq!(c.locality_miss, 25);
+        assert_eq!(c.fetch_add, CostModel::default().fetch_add);
+    }
+
+    #[test]
+    fn scaled_multiplies_sync_costs_only() {
+        let c = CostModel::default().scaled(3);
+        let d = CostModel::default();
+        assert_eq!(c.fetch_add, 3 * d.fetch_add);
+        assert_eq!(c.fork, 3 * d.fork);
+        assert_eq!(c.loop_overhead, d.loop_overhead);
+    }
+}

@@ -1,0 +1,40 @@
+//! `lc-machine` — a deterministic discrete-event simulator of a
+//! shared-memory multiprocessor with fetch&add dispatch.
+//!
+//! The paper's evaluation is analytic: it counts the abstract instructions
+//! a parallel machine executes to initiate, dispatch, and join a parallel
+//! loop, and compares nested against coalesced execution. This crate
+//! mechanizes that accounting as a simulator so the same counts can be
+//! produced for *any* chunking policy and *any* per-iteration cost
+//! profile, and so makespans (critical paths) — not just operation totals
+//! — can be measured:
+//!
+//! * [`cost`] — the machine's cost model (fetch&add, barrier, fork,
+//!   per-iteration loop overhead), in abstract instruction units.
+//! * [`sim`] — the core event-driven simulation of one parallel loop:
+//!   the earliest-free processor grabs the next chunk from a shared
+//!   [`lc_sched::Dispenser`].
+//! * [`exec`] — execution modes for a whole nest: sequential, coalesced,
+//!   outer-parallel (inner serial), and inner-parallel-sweep (fork-join
+//!   per instance), mirroring the strategies the paper compares.
+//! * [`doacross`] — pipelined execution of dependence-carrying loops
+//!   (the fallback regime where coalescing is illegal).
+//! * [`metrics`] — speedup, efficiency, utilization, load imbalance.
+//!
+//! Everything is exact integer arithmetic over `u64` "instructions";
+//! results are bit-reproducible across runs and platforms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod doacross;
+pub mod exec;
+pub mod metrics;
+pub mod sim;
+
+pub use cost::CostModel;
+pub use doacross::{pipeline_speedup_bound, simulate_doacross};
+pub use exec::{simulate_nest, ExecMode, NestResult};
+pub use metrics::Metrics;
+pub use sim::{simulate_loop, SimResult};

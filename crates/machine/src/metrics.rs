@@ -1,0 +1,128 @@
+//! Derived performance metrics: speedup, efficiency, utilization, load
+//! imbalance — the y-axes of the paper's figures.
+
+use crate::exec::NestResult;
+
+/// Metrics derived from a parallel run and its sequential baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// `T_seq / T_par`.
+    pub speedup: f64,
+    /// `speedup / p`.
+    pub efficiency: f64,
+    /// Busy time over `p × makespan` (1.0 = no idling).
+    pub utilization: f64,
+    /// `(max busy − min busy) / max busy`; 0.0 = perfectly balanced.
+    pub imbalance: f64,
+}
+
+impl Metrics {
+    /// Compute metrics for a parallel result against a sequential time.
+    pub fn compute(seq_time: u64, result: &NestResult, p: usize) -> Metrics {
+        let p = p.max(1);
+        let speedup = if result.makespan == 0 {
+            p as f64
+        } else {
+            seq_time as f64 / result.makespan as f64
+        };
+        let efficiency = speedup / p as f64;
+        let (utilization, imbalance) = if result.busy.is_empty() || result.makespan == 0 {
+            (1.0, 0.0)
+        } else {
+            let total: u64 = result.busy.iter().sum();
+            let max = *result.busy.iter().max().unwrap();
+            let min = *result.busy.iter().min().unwrap();
+            let util = total as f64 / (p as f64 * result.makespan as f64);
+            let imb = if max == 0 {
+                0.0
+            } else {
+                (max - min) as f64 / max as f64
+            };
+            (util, imb)
+        };
+        Metrics {
+            speedup,
+            efficiency,
+            utilization,
+            imbalance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::exec::{simulate_nest, ExecMode};
+    use lc_sched::policy::PolicyKind;
+
+    #[test]
+    fn perfect_parallelism_on_free_machine() {
+        let cost = CostModel::free();
+        let body = |_: &[i64]| 10u64;
+        let seq = simulate_nest(&[8, 8], 1, ExecMode::Sequential, &cost, &body);
+        let par = simulate_nest(
+            &[8, 8],
+            8,
+            ExecMode::coalesced(PolicyKind::SelfSched, 0),
+            &cost,
+            &body,
+        );
+        let m = Metrics::compute(seq.makespan, &par, 8);
+        assert!(m.speedup > 7.9, "{m:?}");
+        assert!(m.efficiency > 0.98, "{m:?}");
+        assert!(m.imbalance < 0.01, "{m:?}");
+    }
+
+    #[test]
+    fn overheads_reduce_efficiency() {
+        let cost = CostModel::default().scaled(10);
+        let body = |_: &[i64]| 5u64;
+        let seq = simulate_nest(&[8, 8], 1, ExecMode::Sequential, &cost, &body);
+        let par = simulate_nest(
+            &[8, 8],
+            8,
+            ExecMode::coalesced(PolicyKind::SelfSched, 0),
+            &cost,
+            &body,
+        );
+        let m = Metrics::compute(seq.makespan, &par, 8);
+        assert!(m.efficiency < 0.5, "{m:?}");
+    }
+
+    #[test]
+    fn imbalance_zero_when_busy_equal() {
+        let r = NestResult {
+            makespan: 100,
+            fetch_adds: 0,
+            barriers: 0,
+            forks: 0,
+            chunks: 0,
+            body_work: 0,
+            iterations: 0,
+            busy: vec![50, 50, 50],
+        };
+        let m = Metrics::compute(300, &r, 3);
+        assert_eq!(m.imbalance, 0.0);
+        assert!((m.utilization - 0.5).abs() < 1e-9);
+        assert_eq!(m.speedup, 3.0);
+        assert_eq!(m.efficiency, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_divide_by_zero() {
+        let r = NestResult {
+            makespan: 0,
+            fetch_adds: 0,
+            barriers: 0,
+            forks: 0,
+            chunks: 0,
+            body_work: 0,
+            iterations: 0,
+            busy: vec![],
+        };
+        let m = Metrics::compute(0, &r, 4);
+        assert!(m.speedup.is_finite());
+        assert!(m.imbalance == 0.0);
+    }
+}

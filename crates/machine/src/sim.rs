@@ -1,0 +1,438 @@
+//! Event-driven simulation of one parallel loop.
+//!
+//! The model: `p` processors share a [`Dispenser`]. Whenever a processor
+//! becomes free it performs one fetch&add (paying [`CostModel::fetch_add`])
+//! to grab the next chunk, then executes the chunk's iterations back to
+//! back (paying per-iteration loop overhead plus the workload's body
+//! cost). A processor that draws an empty chunk has discovered exhaustion
+//! and proceeds to the barrier. The loop's makespan is the time the last
+//! processor clears the barrier, measured from the fork.
+//!
+//! Determinism: ties in "earliest free processor" break toward the lowest
+//! processor id, so a simulation is a pure function of its inputs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lc_sched::policy::{static_assignment, Chunk, Dispenser, PolicyKind, StaticKind};
+
+use crate::cost::CostModel;
+
+/// Outcome of simulating one parallel loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Time from fork until the last processor clears the join barrier.
+    pub makespan: u64,
+    /// Per-processor busy time (dispatch + loop overhead + body work).
+    pub busy: Vec<u64>,
+    /// Per-processor time of arrival at the barrier.
+    pub finish: Vec<u64>,
+    /// Chunks dispatched.
+    pub chunks: u64,
+    /// Synchronized fetch&add operations (for static schedules: zero).
+    pub fetch_adds: u64,
+    /// Total body work dispatched (sum of body costs, excl. overheads).
+    pub body_work: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Chunk starts that were not adjacent to the worker's previous
+    /// iteration (each paid [`CostModel::locality_miss`]).
+    pub locality_misses: u64,
+}
+
+impl SimResult {
+    /// Utilization: busy time over `p × makespan`.
+    pub fn utilization(&self) -> f64 {
+        let p = self.busy.len() as f64;
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        self.busy.iter().sum::<u64>() as f64 / (p * self.makespan as f64)
+    }
+}
+
+/// How iterations are distributed to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopSchedule {
+    /// Dynamic dispatch through a shared counter with the given policy.
+    Dynamic(PolicyKind),
+    /// Static pre-assignment (no shared counter at run time).
+    Static(StaticKind),
+}
+
+/// Simulate one parallel loop of `n` iterations on `p` processors.
+///
+/// `body(i)` gives the body cost of 0-based iteration `i` in abstract
+/// instructions. The returned makespan includes the fork and barrier.
+pub fn simulate_loop(
+    n: u64,
+    p: usize,
+    schedule: LoopSchedule,
+    cost: &CostModel,
+    body: &dyn Fn(u64) -> u64,
+) -> SimResult {
+    let p = p.max(1);
+    match schedule {
+        LoopSchedule::Dynamic(kind) => simulate_dynamic(n, p, kind, cost, body),
+        LoopSchedule::Static(kind) => simulate_static(n, p, kind, cost, body),
+    }
+}
+
+/// Execute a chunk; `prev_end` is the worker's one-past-last previous
+/// iteration. Returns (elapsed, new prev_end, miss count: 0 or 1).
+fn run_chunk(
+    chunk: Chunk,
+    prev_end: Option<u64>,
+    cost: &CostModel,
+    body: &dyn Fn(u64) -> u64,
+    body_work: &mut u64,
+) -> (u64, Option<u64>, u64) {
+    let mut t = 0;
+    let miss = match prev_end {
+        Some(pe) if pe == chunk.start => 0,
+        None => 0, // first chunk: no previous line to lose
+        _ => 1,
+    };
+    t += miss * cost.locality_miss;
+    for i in chunk.start..chunk.end() {
+        let w = body(i);
+        *body_work += w;
+        t += cost.loop_overhead + w;
+    }
+    (t, Some(chunk.end()), miss)
+}
+
+fn simulate_dynamic(
+    n: u64,
+    p: usize,
+    kind: PolicyKind,
+    cost: &CostModel,
+    body: &dyn Fn(u64) -> u64,
+) -> SimResult {
+    let mut dispenser = Dispenser::with_kind(n, p, kind);
+    let mut busy = vec![0u64; p];
+    let mut finish = vec![0u64; p];
+    let mut prev_end: Vec<Option<u64>> = vec![None; p];
+    let mut chunks = 0u64;
+    let mut body_work = 0u64;
+    let mut locality_misses = 0u64;
+
+    // Min-heap of (free-at time, processor id); all start after the fork.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..p).map(|q| Reverse((cost.fork, q))).collect();
+
+    while let Some(Reverse((t, q))) = heap.pop() {
+        // One fetch&add to grab.
+        let t_after_grab = t + cost.fetch_add;
+        busy[q] += cost.fetch_add;
+        match dispenser.grab() {
+            Some(chunk) => {
+                chunks += 1;
+                let (dt, pe, miss) = run_chunk(chunk, prev_end[q], cost, body, &mut body_work);
+                prev_end[q] = pe;
+                locality_misses += miss;
+                busy[q] += dt;
+                heap.push(Reverse((t_after_grab + dt, q)));
+            }
+            None => {
+                finish[q] = t_after_grab;
+            }
+        }
+    }
+
+    let arrive = finish.iter().copied().max().unwrap_or(0);
+    let makespan = arrive + cost.barrier;
+    SimResult {
+        makespan,
+        busy,
+        finish,
+        chunks,
+        fetch_adds: dispenser.fetch_ops(),
+        body_work,
+        iterations: n,
+        locality_misses,
+    }
+}
+
+fn simulate_static(
+    n: u64,
+    p: usize,
+    kind: StaticKind,
+    cost: &CostModel,
+    body: &dyn Fn(u64) -> u64,
+) -> SimResult {
+    let assignment = static_assignment(n, p, kind);
+    let mut busy = vec![0u64; p];
+    let mut finish = vec![0u64; p];
+    let mut chunks = 0u64;
+    let mut body_work = 0u64;
+    let mut locality_misses = 0u64;
+    for (q, chunk_list) in assignment.iter().enumerate() {
+        let mut t = cost.fork;
+        let mut prev_end = None;
+        for c in chunk_list {
+            chunks += 1;
+            let (dt, pe, miss) = run_chunk(*c, prev_end, cost, body, &mut body_work);
+            prev_end = pe;
+            locality_misses += miss;
+            t += dt;
+        }
+        busy[q] = t - cost.fork;
+        finish[q] = t;
+    }
+    let arrive = finish.iter().copied().max().unwrap_or(0);
+    SimResult {
+        makespan: arrive + cost.barrier,
+        busy,
+        finish,
+        chunks,
+        fetch_adds: 0,
+        body_work,
+        iterations: n,
+        locality_misses,
+    }
+}
+
+/// Time to execute the loop on one processor with no parallel machinery at
+/// all (no fork, no dispatch, no barrier) — the sequential baseline for
+/// speedup computations.
+pub fn sequential_time(n: u64, cost: &CostModel, body: &dyn Fn(u64) -> u64) -> u64 {
+    (0..n).map(|i| cost.loop_overhead + body(i)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: fn(u64) -> u64 = |_| 10;
+
+    #[test]
+    fn single_processor_matches_sequential_plus_overheads() {
+        let cost = CostModel::default();
+        let n = 20;
+        let r = simulate_loop(
+            n,
+            1,
+            LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            &cost,
+            &UNIT,
+        );
+        let seq = sequential_time(n, &cost, &UNIT);
+        // fork + (n+1) fetch_adds + body time + barrier
+        assert_eq!(
+            r.makespan,
+            cost.fork + (n + 1) * cost.fetch_add + seq + cost.barrier
+        );
+        assert_eq!(r.iterations, n);
+        assert_eq!(r.body_work, n * 10);
+    }
+
+    #[test]
+    fn perfect_split_on_uniform_work() {
+        // 100 unit iterations on 4 processors, free machine: makespan is
+        // exactly a quarter of the sequential body time.
+        let cost = CostModel::free();
+        let r = simulate_loop(
+            100,
+            4,
+            LoopSchedule::Static(StaticKind::Block),
+            &cost,
+            &UNIT,
+        );
+        assert_eq!(r.makespan, 25 * 10);
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_self_scheduling_balances_skewed_work() {
+        // One enormous iteration plus many tiny ones: static block puts the
+        // spike together with a quarter of the rest on one processor;
+        // SS isolates it.
+        let body = |i: u64| if i == 0 { 1000 } else { 10 };
+        let cost = CostModel::free();
+        let stat = simulate_loop(
+            100,
+            4,
+            LoopSchedule::Static(StaticKind::Block),
+            &cost,
+            &body,
+        );
+        let dyn_ = simulate_loop(
+            100,
+            4,
+            LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            &cost,
+            &body,
+        );
+        assert!(
+            dyn_.makespan < stat.makespan,
+            "SS {} !< static {}",
+            dyn_.makespan,
+            stat.makespan
+        );
+    }
+
+    #[test]
+    fn self_scheduling_pays_dispatch_costs() {
+        // On a machine with expensive fetch&add, CSS beats SS on uniform
+        // work because it amortizes dispatch.
+        let cost = CostModel {
+            fetch_add: 50,
+            ..Default::default()
+        };
+        let ss = simulate_loop(
+            1000,
+            4,
+            LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            &cost,
+            &UNIT,
+        );
+        let css = simulate_loop(
+            1000,
+            4,
+            LoopSchedule::Dynamic(PolicyKind::Chunked(50)),
+            &cost,
+            &UNIT,
+        );
+        assert!(css.makespan < ss.makespan);
+        assert!(css.fetch_adds < ss.fetch_adds);
+    }
+
+    #[test]
+    fn gss_dispatch_count_is_logarithmicish() {
+        let cost = CostModel::default();
+        let r = simulate_loop(
+            10_000,
+            8,
+            LoopSchedule::Dynamic(PolicyKind::Guided),
+            &cost,
+            &UNIT,
+        );
+        assert!(r.chunks < 120, "{}", r.chunks);
+        assert_eq!(r.iterations, 10_000);
+    }
+
+    #[test]
+    fn zero_iterations_still_pays_fork_and_barrier() {
+        let cost = CostModel::default();
+        let r = simulate_loop(
+            0,
+            4,
+            LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            &cost,
+            &UNIT,
+        );
+        assert_eq!(r.makespan, cost.fork + cost.fetch_add + cost.barrier);
+        assert_eq!(r.chunks, 0);
+    }
+
+    #[test]
+    fn more_processors_than_iterations() {
+        let cost = CostModel::free();
+        let r = simulate_loop(
+            3,
+            16,
+            LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            &cost,
+            &UNIT,
+        );
+        assert_eq!(r.makespan, 10); // three processors run one iter each
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn determinism() {
+        let body = |i: u64| (i * 2654435761) % 97;
+        let cost = CostModel::default();
+        let a = simulate_loop(
+            500,
+            7,
+            LoopSchedule::Dynamic(PolicyKind::Guided),
+            &cost,
+            &body,
+        );
+        let b = simulate_loop(
+            500,
+            7,
+            LoopSchedule::Dynamic(PolicyKind::Guided),
+            &cost,
+            &body,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_plus_idle_accounts_for_makespan() {
+        let body = |i: u64| if i.is_multiple_of(7) { 100 } else { 5 };
+        let cost = CostModel::default();
+        let r = simulate_loop(
+            200,
+            5,
+            LoopSchedule::Dynamic(PolicyKind::Chunked(8)),
+            &cost,
+            &body,
+        );
+        for q in 0..5 {
+            assert!(r.busy[q] <= r.finish[q], "busy exceeds finish for {q}");
+            assert!(r.finish[q] <= r.makespan);
+        }
+    }
+
+    #[test]
+    fn locality_misses_follow_the_dispatch_shape() {
+        let cost = CostModel::free();
+        // Static block: one contiguous chunk per worker — zero misses.
+        let block = simulate_loop(100, 4, LoopSchedule::Static(StaticKind::Block), &cost, &UNIT);
+        assert_eq!(block.locality_misses, 0);
+        // Static cyclic: every length-1 chunk after a worker's first is
+        // non-adjacent — 96 misses.
+        let cyc = simulate_loop(100, 4, LoopSchedule::Static(StaticKind::Cyclic), &cost, &UNIT);
+        assert_eq!(cyc.locality_misses, 96);
+        // CSS(25) on 4 workers: each grabs one chunk — zero misses.
+        let css = simulate_loop(
+            100,
+            4,
+            LoopSchedule::Dynamic(PolicyKind::Chunked(25)),
+            &cost,
+            &UNIT,
+        );
+        assert_eq!(css.locality_misses, 0);
+    }
+
+    #[test]
+    fn locality_surcharge_slows_scattered_dispatch_only() {
+        let base = CostModel::free();
+        let pricey = CostModel::free().with_locality_miss(50);
+        // Block schedules are immune.
+        let a = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Block), &base, &UNIT);
+        let b = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Block), &pricey, &UNIT);
+        assert_eq!(a.makespan, b.makespan);
+        // Cyclic schedules pay per iteration.
+        let c = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Cyclic), &base, &UNIT);
+        let d = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Cyclic), &pricey, &UNIT);
+        assert!(d.makespan > c.makespan + 40 * 50);
+    }
+
+    #[test]
+    fn static_cyclic_handles_linear_skew_better_than_block() {
+        // Cost grows linearly with index: block gives the last processor
+        // the heaviest band; cyclic interleaves.
+        let body = |i: u64| i;
+        let cost = CostModel::free();
+        let block = simulate_loop(
+            400,
+            4,
+            LoopSchedule::Static(StaticKind::Block),
+            &cost,
+            &body,
+        );
+        let cyclic = simulate_loop(
+            400,
+            4,
+            LoopSchedule::Static(StaticKind::Cyclic),
+            &cost,
+            &body,
+        );
+        assert!(cyclic.makespan < block.makespan);
+    }
+}

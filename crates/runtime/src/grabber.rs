@@ -1,0 +1,233 @@
+//! Chunk acquisition from a shared counter — the software fetch&add.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lc_sched::policy::{Chunk, Dispenser, PolicyKind};
+use parking_lot::Mutex;
+
+/// A thread-safe source of iteration chunks.
+pub trait Grabber: Sync {
+    /// Claim the next chunk, or `None` when the loop is exhausted.
+    fn grab(&self) -> Option<Chunk>;
+}
+
+/// Fixed-size chunks via a single `fetch_add` — pure self-scheduling when
+/// `chunk == 1`, CSS(k) otherwise. This is exactly the paper's dispatch:
+/// one atomic read-modify-write per chunk, no locks.
+pub struct FetchAddGrabber {
+    counter: AtomicU64,
+    n: u64,
+    chunk: u64,
+}
+
+impl FetchAddGrabber {
+    /// Dispatch `n` iterations in chunks of `chunk`.
+    pub fn new(n: u64, chunk: u64) -> Self {
+        FetchAddGrabber {
+            counter: AtomicU64::new(0),
+            n,
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl Grabber for FetchAddGrabber {
+    fn grab(&self) -> Option<Chunk> {
+        let start = self.counter.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.n {
+            return None;
+        }
+        Some(Chunk {
+            start,
+            len: self.chunk.min(self.n - start),
+        })
+    }
+}
+
+/// Guided self-scheduling: chunk size `⌈remaining/p⌉` claimed by CAS (the
+/// size depends on the counter value, so a plain fetch_add cannot be
+/// used).
+pub struct GuidedGrabber {
+    counter: AtomicU64,
+    n: u64,
+    p: u64,
+    min_chunk: u64,
+}
+
+impl GuidedGrabber {
+    /// Dispatch `n` iterations among `p` workers, never handing out fewer
+    /// than `min_chunk` iterations (classic GSS uses 1).
+    pub fn new(n: u64, p: usize, min_chunk: u64) -> Self {
+        GuidedGrabber {
+            counter: AtomicU64::new(0),
+            n,
+            p: p.max(1) as u64,
+            min_chunk: min_chunk.max(1),
+        }
+    }
+}
+
+impl Grabber for GuidedGrabber {
+    fn grab(&self) -> Option<Chunk> {
+        let mut cur = self.counter.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.n {
+                return None;
+            }
+            let remaining = self.n - cur;
+            let take = remaining
+                .div_ceil(self.p)
+                .max(self.min_chunk)
+                .min(remaining);
+            match self.counter.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(Chunk {
+                        start: cur,
+                        len: take,
+                    })
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Stateful policies (TSS, factoring) behind a mutex — the chunk sequence
+/// depends on dispatch history, which an atomic counter cannot carry.
+pub struct LockedGrabber {
+    inner: Mutex<Dispenser>,
+}
+
+impl LockedGrabber {
+    /// Wrap a dispenser.
+    pub fn new(dispenser: Dispenser) -> Self {
+        LockedGrabber {
+            inner: Mutex::new(dispenser),
+        }
+    }
+}
+
+impl Grabber for LockedGrabber {
+    fn grab(&self) -> Option<Chunk> {
+        self.inner.lock().grab()
+    }
+}
+
+/// Build the appropriate grabber for a policy: lock-free fast paths for
+/// SS/CSS/GSS, mutex-guarded dispenser for the rest.
+pub fn make_grabber(n: u64, p: usize, kind: PolicyKind) -> Box<dyn Grabber> {
+    match kind {
+        PolicyKind::SelfSched => Box::new(FetchAddGrabber::new(n, 1)),
+        PolicyKind::Chunked(k) => Box::new(FetchAddGrabber::new(n, k)),
+        PolicyKind::Guided => Box::new(GuidedGrabber::new(n, p, 1)),
+        PolicyKind::Trapezoid | PolicyKind::Factoring => {
+            Box::new(LockedGrabber::new(Dispenser::with_kind(n, p, kind)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    fn drain_parallel(grabber: &dyn Grabber, threads: usize) -> Vec<Chunk> {
+        let chunks = StdMutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    while let Some(c) = grabber.grab() {
+                        chunks.lock().unwrap().push(c);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        chunks.into_inner().unwrap()
+    }
+
+    fn assert_exact_cover(chunks: &[Chunk], n: u64) {
+        let mut seen = HashSet::new();
+        for c in chunks {
+            for i in c.start..c.end() {
+                assert!(seen.insert(i), "iteration {i} dispatched twice");
+            }
+        }
+        assert_eq!(seen.len() as u64, n, "not all iterations dispatched");
+    }
+
+    #[test]
+    fn fetch_add_covers_exactly_under_contention() {
+        let g = FetchAddGrabber::new(100_000, 1);
+        let chunks = drain_parallel(&g, 8);
+        assert_exact_cover(&chunks, 100_000);
+    }
+
+    #[test]
+    fn chunked_covers_exactly_with_ragged_tail() {
+        let g = FetchAddGrabber::new(1003, 7);
+        let chunks = drain_parallel(&g, 4);
+        assert_exact_cover(&chunks, 1003);
+        assert!(chunks.iter().any(|c| c.len == 7));
+        assert!(chunks.iter().any(|c| c.len == 1003 % 7));
+    }
+
+    #[test]
+    fn guided_covers_exactly_and_decays() {
+        let g = GuidedGrabber::new(10_000, 8, 1);
+        let chunks = drain_parallel(&g, 8);
+        assert_exact_cover(&chunks, 10_000);
+        // Far fewer chunks than iterations.
+        assert!(chunks.len() < 200, "{}", chunks.len());
+    }
+
+    #[test]
+    fn locked_trapezoid_covers_exactly() {
+        let g = LockedGrabber::new(Dispenser::with_kind(5000, 4, PolicyKind::Trapezoid));
+        let chunks = drain_parallel(&g, 4);
+        assert_exact_cover(&chunks, 5000);
+    }
+
+    #[test]
+    fn locked_factoring_covers_exactly() {
+        let g = LockedGrabber::new(Dispenser::with_kind(777, 3, PolicyKind::Factoring));
+        let chunks = drain_parallel(&g, 3);
+        assert_exact_cover(&chunks, 777);
+    }
+
+    #[test]
+    fn empty_loop_yields_nothing() {
+        for kind in [
+            PolicyKind::SelfSched,
+            PolicyKind::Guided,
+            PolicyKind::Trapezoid,
+        ] {
+            let g = make_grabber(0, 4, kind);
+            assert!(g.grab().is_none(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn make_grabber_single_thread_drain_matches_n() {
+        for kind in [
+            PolicyKind::SelfSched,
+            PolicyKind::Chunked(16),
+            PolicyKind::Guided,
+            PolicyKind::Trapezoid,
+            PolicyKind::Factoring,
+        ] {
+            let g = make_grabber(1234, 4, kind);
+            let mut total = 0;
+            while let Some(c) = g.grab() {
+                total += c.len;
+            }
+            assert_eq!(total, 1234, "{kind:?}");
+        }
+    }
+}

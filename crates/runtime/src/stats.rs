@@ -1,0 +1,139 @@
+//! Per-worker and per-run execution statistics.
+
+use std::time::Duration;
+
+/// Counters one worker accumulates over a parallel loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Iterations this worker executed.
+    pub iterations: u64,
+    /// Chunks this worker claimed.
+    pub chunks: u64,
+    /// Wall time this worker spent executing chunks (excludes the time
+    /// waiting to be spawned/joined).
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Merge another worker's counters into this one (used when a worker
+    /// participates in several loop instances).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.iterations += other.iterations;
+        self.chunks += other.chunks;
+        self.busy += other.busy;
+    }
+}
+
+/// Aggregate result of one parallel-loop run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// End-to-end wall time, including thread fork and join.
+    pub elapsed: Duration,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Display name of the scheduling policy.
+    pub policy: String,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl RunStats {
+    /// Sum of iterations executed by every worker.
+    pub fn total_iterations(&self) -> u64 {
+        self.workers.iter().map(|w| w.iterations).sum()
+    }
+
+    /// Sum of chunks claimed by every worker.
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks).sum()
+    }
+
+    /// `(max busy − min busy) / max busy` across workers; 0.0 when
+    /// perfectly balanced or trivially small.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.workers.iter().map(|w| w.busy).max().unwrap_or_default();
+        let min = self.workers.iter().map(|w| w.busy).min().unwrap_or_default();
+        if max.is_zero() {
+            0.0
+        } else {
+            (max - min).as_secs_f64() / max.as_secs_f64()
+        }
+    }
+
+    /// Merge the workers of another run into this one position-wise
+    /// (panics if thread counts differ) and add its elapsed time.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        if self.workers.is_empty() {
+            self.workers = vec![WorkerStats::default(); other.workers.len()];
+            self.threads = other.threads;
+            self.policy = other.policy.clone();
+        }
+        assert_eq!(self.workers.len(), other.workers.len());
+        for (a, b) in self.workers.iter_mut().zip(&other.workers) {
+            a.merge(b);
+        }
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_workers() {
+        let stats = RunStats {
+            elapsed: Duration::from_millis(5),
+            threads: 2,
+            policy: "SS".into(),
+            workers: vec![
+                WorkerStats {
+                    iterations: 10,
+                    chunks: 3,
+                    busy: Duration::from_millis(4),
+                },
+                WorkerStats {
+                    iterations: 6,
+                    chunks: 2,
+                    busy: Duration::from_millis(2),
+                },
+            ],
+        };
+        assert_eq!(stats.total_iterations(), 16);
+        assert_eq!(stats.total_chunks(), 5);
+        assert!((stats.imbalance() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_empty_or_idle_run_is_zero() {
+        assert_eq!(RunStats::default().imbalance(), 0.0);
+        let idle = RunStats {
+            workers: vec![WorkerStats::default(); 3],
+            ..Default::default()
+        };
+        assert_eq!(idle.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_merges_positionwise() {
+        let one = RunStats {
+            elapsed: Duration::from_millis(1),
+            threads: 2,
+            policy: "SS".into(),
+            workers: vec![
+                WorkerStats {
+                    iterations: 1,
+                    chunks: 1,
+                    busy: Duration::from_micros(10),
+                },
+                WorkerStats::default(),
+            ],
+        };
+        let mut acc = RunStats::default();
+        acc.accumulate(&one);
+        acc.accumulate(&one);
+        assert_eq!(acc.total_iterations(), 2);
+        assert_eq!(acc.elapsed, Duration::from_millis(2));
+        assert_eq!(acc.threads, 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Static schedule-length bounds: the paper's theorem that coalescing
+//! never lengthens — and usually shortens — a statically scheduled nest.
+//!
+//! With block scheduling, a coalesced loop of `N = Π N_k` iterations on
+//! `p` processors finishes in `⌈N/p⌉` body-executions per processor. A
+//! nested loop must instead split the processors across dimensions,
+//! `p_1 · p_2 · … · p_m ≤ p`, and finishes in `Π ⌈N_k/p_k⌉`. For every
+//! feasible allocation,
+//!
+//! `⌈N/p⌉ ≤ Π_k ⌈N_k/p_k⌉`,
+//!
+//! with the gap largest when trip counts don't divide the allocation
+//! (e.g. `N_k = p_k + 1`). [`best_processor_allocation`] searches the
+//! allocation space exhaustively so experiments can compare against the
+//! *best* nested schedule, not a strawman.
+
+/// `⌈n/p⌉` — body executions on the critical path of a block-scheduled
+/// coalesced loop.
+pub fn coalesced_block_length(n: u64, p: u64) -> u64 {
+    if p == 0 {
+        return n;
+    }
+    n.div_ceil(p)
+}
+
+/// `Π ⌈N_k/p_k⌉` — critical path of a block-scheduled nested loop under a
+/// per-dimension processor allocation. Panics if lengths differ.
+pub fn nested_block_length(dims: &[u64], alloc: &[u64]) -> u64 {
+    assert_eq!(dims.len(), alloc.len(), "allocation/dims length mismatch");
+    dims.iter()
+        .zip(alloc)
+        .map(|(&n, &pk)| n.div_ceil(pk.max(1)))
+        .product()
+}
+
+/// Exhaustively find the processor allocation `(p_1, …, p_m)` with
+/// `Π p_k ≤ p` minimizing `Π ⌈N_k/p_k⌉`. Returns `(allocation, length)`.
+///
+/// The search space is pruned: `p_k` never exceeds `N_k` (extra processors
+/// on a dimension are wasted) nor the remaining processor budget.
+pub fn best_processor_allocation(dims: &[u64], p: u64) -> (Vec<u64>, u64) {
+    assert!(!dims.is_empty(), "empty nest");
+    let p = p.max(1);
+    let mut best_alloc = vec![1; dims.len()];
+    let mut best_len = u64::MAX;
+    let mut current = vec![1u64; dims.len()];
+    search(dims, p, 0, &mut current, &mut best_alloc, &mut best_len);
+    (best_alloc, best_len)
+}
+
+fn search(
+    dims: &[u64],
+    budget: u64,
+    k: usize,
+    current: &mut Vec<u64>,
+    best_alloc: &mut Vec<u64>,
+    best_len: &mut u64,
+) {
+    if k == dims.len() {
+        let len = nested_block_length(dims, current);
+        if len < *best_len {
+            *best_len = len;
+            best_alloc.clone_from(current);
+        }
+        return;
+    }
+    let max_pk = budget.min(dims[k].max(1));
+    for pk in 1..=max_pk {
+        current[k] = pk;
+        search(dims, budget / pk, k + 1, current, best_alloc, best_len);
+    }
+    current[k] = 1;
+}
+
+/// The theorem: for the given shape and processor count, check that the
+/// coalesced bound is no worse than the best nested allocation. Returns
+/// `(coalesced, best_nested)` so callers can also report the gap.
+pub fn coalescing_bound_pair(dims: &[u64], p: u64) -> (u64, u64) {
+    let n: u64 = dims.iter().product();
+    let c = coalesced_block_length(n, p);
+    let (_, nested) = best_processor_allocation(dims, p);
+    (c, nested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coalesced_length_basics() {
+        assert_eq!(coalesced_block_length(100, 4), 25);
+        assert_eq!(coalesced_block_length(101, 4), 26);
+        assert_eq!(coalesced_block_length(3, 8), 1);
+        assert_eq!(coalesced_block_length(5, 0), 5);
+    }
+
+    #[test]
+    fn nested_length_matches_hand_computation() {
+        // 10×10 on (2, 2): ceil(10/2) * ceil(10/2) = 25.
+        assert_eq!(nested_block_length(&[10, 10], &[2, 2]), 25);
+        // Misfit: 5×5 on (2, 2): 3 * 3 = 9 while coalesced is ceil(25/4)=7.
+        assert_eq!(nested_block_length(&[5, 5], &[2, 2]), 9);
+        assert_eq!(coalesced_block_length(25, 4), 7);
+    }
+
+    #[test]
+    fn best_allocation_prefers_fitting_dimensions() {
+        // 8×2 nest, p=4: (4,1) gives 2*2=4; (2,2) gives 4*1=4; both optimal.
+        let (_alloc, len) = best_processor_allocation(&[8, 2], 4);
+        assert_eq!(len, 4);
+        // 9×3 nest, p=9: (3,3) gives 3*1 = 3.
+        let (alloc, len) = best_processor_allocation(&[9, 3], 9);
+        assert_eq!(len, 3);
+        assert_eq!(alloc, vec![3, 3]);
+    }
+
+    #[test]
+    fn allocation_caps_at_dimension_size() {
+        // One dim of 2 with p=64: no point using more than 2.
+        let (alloc, len) = best_processor_allocation(&[2, 4], 64);
+        assert!(alloc[0] <= 2 && alloc[1] <= 4);
+        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn paper_theorem_on_a_grid_of_shapes() {
+        for n1 in [3u64, 5, 7, 10, 16, 33] {
+            for n2 in [2u64, 4, 9, 15] {
+                for p in [2u64, 3, 4, 8, 16, 64] {
+                    let (c, nested) = coalescing_bound_pair(&[n1, n2], p);
+                    assert!(
+                        c <= nested,
+                        "coalescing lost at {n1}x{n2}, p={p}: {c} > {nested}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn misfit_shapes_show_strict_improvement() {
+        // The classic example: prime-ish trip counts waste processors under
+        // any per-dimension split.
+        let (c, nested) = coalescing_bound_pair(&[7, 11], 8);
+        assert!(c < nested, "coalesced {c} vs nested {nested}");
+    }
+
+    #[test]
+    fn perfect_fit_shapes_tie() {
+        let (c, nested) = coalescing_bound_pair(&[8, 8], 16);
+        assert_eq!(c, nested); // 4 == ceil(8/4)*ceil(8/4) with (4,4)
+    }
+
+    #[test]
+    fn three_level_theorem_spot_checks() {
+        for dims in [[4u64, 5, 6], [3, 3, 3], [10, 2, 7]] {
+            for p in [2u64, 6, 12, 48] {
+                let (c, nested) = coalescing_bound_pair(&dims, p);
+                assert!(c <= nested, "{dims:?} p={p}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_coalescing_never_loses(
+            dims in proptest::collection::vec(1u64..12, 1..4),
+            p in 1u64..32,
+        ) {
+            let (c, nested) = coalescing_bound_pair(&dims, p);
+            prop_assert!(c <= nested, "dims={dims:?} p={p}: {c} > {nested}");
+        }
+
+        #[test]
+        fn prop_best_allocation_is_feasible(
+            dims in proptest::collection::vec(1u64..12, 1..4),
+            p in 1u64..32,
+        ) {
+            let (alloc, len) = best_processor_allocation(&dims, p);
+            prop_assert_eq!(alloc.len(), dims.len());
+            prop_assert!(alloc.iter().product::<u64>() <= p.max(1));
+            prop_assert_eq!(nested_block_length(&dims, &alloc), len);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Dispatch-operation accounting: the paper's synchronization-count
+//! comparison between nested and coalesced execution.
+//!
+//! Executing a nest with per-level self-scheduling pays
+//!
+//! * one fetch&add per dispatched chunk *per loop instance*, plus one empty
+//!   fetch per participating processor to discover exhaustion, and
+//! * one barrier per loop instance (the fork-join around each inner loop).
+//!
+//! A level-`k` loop (0-based) is instantiated `Π_{l<k} N_l` times, so the
+//! nested totals grow with the *product of outer trip counts*, while the
+//! coalesced loop pays a single instance: `N` dispatches (for SS) and one
+//! barrier, regardless of depth. These functions compute both sides
+//! exactly for any chunking policy.
+
+use crate::policy::{Dispenser, PolicyKind};
+
+/// Synchronization-operation totals for one loop-nest execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchStats {
+    /// Chunks successfully dispatched.
+    pub chunks: u64,
+    /// Synchronized fetch&add operations (successful + exhaustion checks).
+    pub fetch_adds: u64,
+    /// Barrier (join) operations.
+    pub barriers: u64,
+    /// Iterations of innermost-body work dispatched.
+    pub iterations: u64,
+}
+
+impl DispatchStats {
+    /// Total synchronization operations (fetch&adds + barriers).
+    pub fn total_sync_ops(&self) -> u64 {
+        self.fetch_adds + self.barriers
+    }
+}
+
+/// Dispatch counts for the *coalesced* nest: one loop of `Π dims`
+/// iterations, one dispenser, one terminal barrier.
+pub fn coalesced_dispatch(dims: &[u64], p: usize, kind: PolicyKind) -> DispatchStats {
+    let n: u64 = dims.iter().product();
+    single_loop_dispatch(n, p, kind)
+}
+
+/// Dispatch counts for a single parallel loop of `n` iterations.
+pub fn single_loop_dispatch(n: u64, p: usize, kind: PolicyKind) -> DispatchStats {
+    let mut d = Dispenser::with_kind(n, p, kind);
+    let mut chunks = 0;
+    while d.grab().is_some() {
+        chunks += 1;
+    }
+    // Every processor pays one (possibly shared-with-above) exhaustion
+    // fetch; the drain above recorded one, the other p−1 are added here.
+    let fetch_adds = d.fetch_ops() + p.saturating_sub(1) as u64;
+    DispatchStats {
+        chunks,
+        fetch_adds,
+        barriers: 1,
+        iterations: n,
+    }
+}
+
+/// Dispatch counts for the *nested* execution: self-scheduling applied at
+/// every level, with a barrier closing every loop instance.
+///
+/// `p_per_level[k]` is how many processors contend at level `k`; the
+/// classic setup dedicates all `p` to the outermost level and lets inner
+/// loops run with the team that reaches them (here: also `p`, matching the
+/// paper's worst-case accounting; pass `1` to model outer-only
+/// parallelism, which then pays no inner dispatch at all — see
+/// [`outer_only_dispatch`]).
+pub fn nested_dispatch(dims: &[u64], p: usize, kind: PolicyKind) -> DispatchStats {
+    let mut stats = DispatchStats::default();
+    let mut instances: u64 = 1;
+    for &n_k in dims {
+        // `instances` copies of this loop run over the program's lifetime.
+        let per = single_loop_dispatch(n_k, p, kind);
+        stats.chunks += instances * per.chunks;
+        stats.fetch_adds += instances * per.fetch_adds;
+        stats.barriers += instances * per.barriers;
+        instances *= n_k;
+    }
+    stats.iterations = instances;
+    stats
+}
+
+/// Dispatch counts when only the outermost loop is parallel and inner
+/// levels run serially inside each dispatched iteration (the common manual
+/// parallelization the paper's coalescing improves on for load balance).
+pub fn outer_only_dispatch(dims: &[u64], p: usize, kind: PolicyKind) -> DispatchStats {
+    let n_outer = dims.first().copied().unwrap_or(0);
+    let mut s = single_loop_dispatch(n_outer, p, kind);
+    s.iterations = dims.iter().product();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_ss_pays_n_plus_p_fetches_and_one_barrier() {
+        let dims = [10u64, 10];
+        let s = coalesced_dispatch(&dims, 4, PolicyKind::SelfSched);
+        assert_eq!(s.iterations, 100);
+        assert_eq!(s.chunks, 100);
+        assert_eq!(s.fetch_adds, 100 + 4);
+        assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    fn nested_ss_pays_per_instance() {
+        // 10×10 nest: outer loop once (10+p fetches, 1 barrier), inner loop
+        // 10 times (each 10+p fetches, 1 barrier).
+        let dims = [10u64, 10];
+        let p = 4;
+        let s = nested_dispatch(&dims, p, PolicyKind::SelfSched);
+        assert_eq!(s.fetch_adds, (10 + 4) + 10 * (10 + 4));
+        assert_eq!(s.barriers, 1 + 10);
+        assert_eq!(s.iterations, 100);
+    }
+
+    #[test]
+    fn coalescing_reduces_sync_ops_and_gap_grows_with_depth() {
+        let p = 16;
+        let flat2 = coalesced_dispatch(&[32, 32], p, PolicyKind::SelfSched).total_sync_ops();
+        let nest2 = nested_dispatch(&[32, 32], p, PolicyKind::SelfSched).total_sync_ops();
+        assert!(flat2 < nest2);
+
+        let flat3 = coalesced_dispatch(&[16, 16, 16], p, PolicyKind::SelfSched).total_sync_ops();
+        let nest3 = nested_dispatch(&[16, 16, 16], p, PolicyKind::SelfSched).total_sync_ops();
+        assert!(flat3 < nest3);
+
+        // Relative savings grow with depth (same-ish total iterations).
+        let r2 = nest2 as f64 / flat2 as f64;
+        let r3 = nest3 as f64 / flat3 as f64;
+        assert!(r3 > r2, "r2={r2:.2} r3={r3:.2}");
+    }
+
+    #[test]
+    fn gss_dispatches_far_fewer_chunks_than_ss() {
+        let s_ss = coalesced_dispatch(&[64, 64], 8, PolicyKind::SelfSched);
+        let s_gss = coalesced_dispatch(&[64, 64], 8, PolicyKind::Guided);
+        assert_eq!(s_ss.chunks, 4096);
+        assert!(s_gss.chunks < 100, "{}", s_gss.chunks);
+        assert!(s_gss.fetch_adds < s_ss.fetch_adds);
+    }
+
+    #[test]
+    fn outer_only_dispatch_counts_only_the_outer_loop() {
+        let s = outer_only_dispatch(&[8, 1000], 4, PolicyKind::SelfSched);
+        assert_eq!(s.chunks, 8);
+        assert_eq!(s.fetch_adds, 8 + 4);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.iterations, 8000);
+    }
+
+    #[test]
+    fn single_iteration_dims_are_handled() {
+        let s = nested_dispatch(&[1, 1, 5], 2, PolicyKind::SelfSched);
+        assert_eq!(s.iterations, 5);
+        assert!(s.barriers >= 3);
+    }
+
+    #[test]
+    fn empty_dims_mean_no_work() {
+        let s = coalesced_dispatch(&[], 4, PolicyKind::SelfSched);
+        assert_eq!(s.iterations, 1); // empty product — a single body instance
+        let s0 = coalesced_dispatch(&[0, 10], 4, PolicyKind::SelfSched);
+        assert_eq!(s0.iterations, 0);
+        assert_eq!(s0.chunks, 0);
+    }
+
+    #[test]
+    fn chunked_reduces_fetches_proportionally() {
+        let ss = coalesced_dispatch(&[100, 10], 4, PolicyKind::SelfSched);
+        let css = coalesced_dispatch(&[100, 10], 4, PolicyKind::Chunked(10));
+        assert_eq!(css.chunks, 100);
+        assert!(css.fetch_adds * 9 < ss.fetch_adds);
+    }
+}

@@ -1,0 +1,477 @@
+//! Dynamic chunking policies and the shared-counter dispenser.
+//!
+//! A *policy* decides how many consecutive iterations the next requesting
+//! processor receives, as a function of how many iterations remain and how
+//! many processors share the loop. The [`Dispenser`] wraps a policy around
+//! the shared iteration counter — the software analogue of the fetch&add
+//! dispatch the paper assumes — and counts the synchronized operations it
+//! performs.
+
+use std::fmt;
+
+/// A contiguous block of coalesced iterations: 0-based `[start, start+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First iteration index (0-based).
+    pub start: u64,
+    /// Number of iterations.
+    pub len: u64,
+}
+
+impl Chunk {
+    /// One-past-the-end iteration index.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// A dynamic chunk-size policy.
+pub trait ChunkPolicy: Send {
+    /// Size of the next chunk. `remaining` is the number of undispatched
+    /// iterations (> 0) and `p` the number of processors sharing the loop.
+    /// Must return a value in `1..=remaining`.
+    fn next_chunk_size(&mut self, remaining: u64, p: usize) -> u64;
+
+    /// Display name for tables.
+    fn name(&self) -> String;
+}
+
+/// Self-scheduling: one iteration per dispatch (maximal balance, maximal
+/// synchronization traffic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfSched;
+
+impl ChunkPolicy for SelfSched {
+    fn next_chunk_size(&mut self, _remaining: u64, _p: usize) -> u64 {
+        1
+    }
+    fn name(&self) -> String {
+        "SS".into()
+    }
+}
+
+/// Chunked self-scheduling CSS(k): a fixed `k` iterations per dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunked(
+    /// The fixed chunk size `k ≥ 1`.
+    pub u64,
+);
+
+impl ChunkPolicy for Chunked {
+    fn next_chunk_size(&mut self, remaining: u64, _p: usize) -> u64 {
+        self.0.max(1).min(remaining)
+    }
+    fn name(&self) -> String {
+        format!("CSS({})", self.0)
+    }
+}
+
+/// Guided self-scheduling GSS: each dispatch takes `⌈remaining / p⌉`
+/// iterations, so chunks decay geometrically and the tail self-balances.
+#[derive(Debug, Clone, Copy)]
+pub struct Guided {
+    /// Smallest chunk ever handed out (classic GSS uses 1).
+    pub min_chunk: u64,
+}
+
+impl Default for Guided {
+    fn default() -> Self {
+        Guided { min_chunk: 1 }
+    }
+}
+
+impl ChunkPolicy for Guided {
+    fn next_chunk_size(&mut self, remaining: u64, p: usize) -> u64 {
+        let g = remaining.div_ceil(p.max(1) as u64);
+        g.max(self.min_chunk).min(remaining)
+    }
+    fn name(&self) -> String {
+        if self.min_chunk <= 1 {
+            "GSS".into()
+        } else {
+            format!("GSS(min={})", self.min_chunk)
+        }
+    }
+}
+
+/// Trapezoid self-scheduling TSS(f, l): chunk sizes decrease linearly from
+/// `first` to `last` over the life of the loop.
+#[derive(Debug, Clone)]
+pub struct Trapezoid {
+    first: u64,
+    last: u64,
+    /// Fixed-point (×1024) decrement per dispatch.
+    step_fp: u64,
+    /// Fixed-point (×1024) current size.
+    current_fp: u64,
+    started: bool,
+}
+
+impl Trapezoid {
+    /// Classic parameterization for a loop of `n` iterations on `p`
+    /// processors: `f = ⌈n / 2p⌉`, `l = 1`.
+    pub fn classic(n: u64, p: usize) -> Self {
+        let first = n.div_ceil(2 * p.max(1) as u64).max(1);
+        Trapezoid::new(first, 1, n)
+    }
+
+    /// TSS with explicit first/last chunk sizes for a loop of `n`
+    /// iterations.
+    pub fn new(first: u64, last: u64, n: u64) -> Self {
+        let first = first.max(1);
+        let last = last.clamp(1, first);
+        // Number of dispatches C = ⌈2n / (f + l)⌉; per-dispatch decrement
+        // δ = (f − l)/(C − 1).
+        let c = (2 * n).div_ceil(first + last).max(1);
+        let step_fp = if c > 1 {
+            ((first - last) * 1024) / (c - 1)
+        } else {
+            0
+        };
+        Trapezoid {
+            first,
+            last,
+            step_fp,
+            current_fp: first * 1024,
+            started: false,
+        }
+    }
+}
+
+impl ChunkPolicy for Trapezoid {
+    fn next_chunk_size(&mut self, remaining: u64, _p: usize) -> u64 {
+        if self.started {
+            self.current_fp = self.current_fp.saturating_sub(self.step_fp);
+        }
+        self.started = true;
+        let size = (self.current_fp / 1024).clamp(self.last, self.first);
+        size.max(1).min(remaining)
+    }
+    fn name(&self) -> String {
+        format!("TSS({},{})", self.first, self.last)
+    }
+}
+
+/// Factoring: iterations are handed out in batches of `p` equal chunks,
+/// each batch taking half of what remains at batch start.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct Factoring {
+    in_batch: usize,
+    batch_chunk: u64,
+}
+
+
+impl ChunkPolicy for Factoring {
+    fn next_chunk_size(&mut self, remaining: u64, p: usize) -> u64 {
+        let p = p.max(1);
+        if self.in_batch == 0 {
+            self.batch_chunk = (remaining.div_ceil(2)).div_ceil(p as u64).max(1);
+            self.in_batch = p;
+        }
+        self.in_batch -= 1;
+        self.batch_chunk.min(remaining)
+    }
+    fn name(&self) -> String {
+        "FAC".into()
+    }
+}
+
+/// Static pre-assignment shapes (no shared counter at run time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticKind {
+    /// Processor `q` gets the contiguous block `q·⌈n/p⌉ …`.
+    Block,
+    /// Processor `q` gets iterations `q, q+p, q+2p, …`.
+    Cyclic,
+}
+
+/// Compute the static assignment of `n` iterations to `p` workers. Returns
+/// one chunk list per worker (cyclic assignments have length-1 chunks).
+pub fn static_assignment(n: u64, p: usize, kind: StaticKind) -> Vec<Vec<Chunk>> {
+    let p = p.max(1);
+    let mut out = vec![Vec::new(); p];
+    match kind {
+        StaticKind::Block => {
+            let b = n.div_ceil(p as u64);
+            for (q, chunks) in out.iter_mut().enumerate() {
+                let start = (q as u64) * b;
+                if start >= n {
+                    break;
+                }
+                chunks.push(Chunk {
+                    start,
+                    len: b.min(n - start),
+                });
+            }
+        }
+        StaticKind::Cyclic => {
+            for i in 0..n {
+                out[(i % p as u64) as usize].push(Chunk { start: i, len: 1 });
+            }
+        }
+    }
+    out
+}
+
+/// Enumerable policy descriptor, convertible into a fresh policy instance.
+/// (Policies are stateful; a new instance is needed per loop execution.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Pure self-scheduling.
+    SelfSched,
+    /// Chunked self-scheduling with the given chunk size.
+    Chunked(u64),
+    /// Guided self-scheduling (min chunk 1).
+    Guided,
+    /// Trapezoid self-scheduling with classic parameters for `(n, p)`.
+    Trapezoid,
+    /// Factoring.
+    Factoring,
+}
+
+impl PolicyKind {
+    /// Instantiate a fresh policy for a loop of `n` iterations on `p`
+    /// processors.
+    pub fn instantiate(self, n: u64, p: usize) -> Box<dyn ChunkPolicy> {
+        match self {
+            PolicyKind::SelfSched => Box::new(SelfSched),
+            PolicyKind::Chunked(k) => Box::new(Chunked(k)),
+            PolicyKind::Guided => Box::new(Guided::default()),
+            PolicyKind::Trapezoid => Box::new(Trapezoid::classic(n, p)),
+            PolicyKind::Factoring => Box::new(Factoring::default()),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> String {
+        match self {
+            PolicyKind::SelfSched => "SS".into(),
+            PolicyKind::Chunked(k) => format!("CSS({k})"),
+            PolicyKind::Guided => "GSS".into(),
+            PolicyKind::Trapezoid => "TSS".into(),
+            PolicyKind::Factoring => "FAC".into(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The shared iteration counter: each [`Dispenser::grab`] models one
+/// synchronized fetch&add on the loop's dispatch variable.
+pub struct Dispenser {
+    next: u64,
+    n: u64,
+    p: usize,
+    policy: Box<dyn ChunkPolicy>,
+    fetch_ops: u64,
+}
+
+impl Dispenser {
+    /// A dispenser over `n` iterations shared by `p` processors.
+    pub fn new(n: u64, p: usize, policy: Box<dyn ChunkPolicy>) -> Self {
+        Dispenser {
+            next: 0,
+            n,
+            p,
+            policy,
+            fetch_ops: 0,
+        }
+    }
+
+    /// Convenience constructor from a [`PolicyKind`].
+    pub fn with_kind(n: u64, p: usize, kind: PolicyKind) -> Self {
+        Dispenser::new(n, p, kind.instantiate(n, p))
+    }
+
+    /// Take the next chunk. Every call — including the final empty one each
+    /// processor uses to discover exhaustion — counts as one fetch&add.
+    pub fn grab(&mut self) -> Option<Chunk> {
+        self.fetch_ops += 1;
+        if self.next >= self.n {
+            return None;
+        }
+        let remaining = self.n - self.next;
+        let len = self
+            .policy
+            .next_chunk_size(remaining, self.p)
+            .clamp(1, remaining);
+        let c = Chunk {
+            start: self.next,
+            len,
+        };
+        self.next += len;
+        Some(c)
+    }
+
+    /// Number of synchronized fetch&add operations performed so far.
+    pub fn fetch_ops(&self) -> u64 {
+        self.fetch_ops
+    }
+
+    /// Iterations not yet dispatched.
+    pub fn remaining(&self) -> u64 {
+        self.n - self.next
+    }
+
+    /// Drain the dispenser, returning the full chunk sequence (as a single
+    /// consumer would see it).
+    pub fn drain(mut self) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        while let Some(c) = self.grab() {
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_sizes(n: u64, p: usize, kind: PolicyKind) -> Vec<u64> {
+        Dispenser::with_kind(n, p, kind)
+            .drain()
+            .iter()
+            .map(|c| c.len)
+            .collect()
+    }
+
+    fn check_covers(n: u64, p: usize, kind: PolicyKind) {
+        let chunks = Dispenser::with_kind(n, p, kind).drain();
+        let mut expected_start = 0;
+        for c in &chunks {
+            assert_eq!(c.start, expected_start, "{kind:?} left a gap");
+            assert!(c.len >= 1);
+            expected_start = c.end();
+        }
+        assert_eq!(expected_start, n, "{kind:?} did not cover 0..{n}");
+    }
+
+    #[test]
+    fn all_policies_cover_the_iteration_space() {
+        for kind in [
+            PolicyKind::SelfSched,
+            PolicyKind::Chunked(1),
+            PolicyKind::Chunked(7),
+            PolicyKind::Chunked(1000),
+            PolicyKind::Guided,
+            PolicyKind::Trapezoid,
+            PolicyKind::Factoring,
+        ] {
+            for n in [1u64, 2, 10, 100, 1000, 12345] {
+                for p in [1usize, 2, 7, 16, 64] {
+                    check_covers(n, p, kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_sched_hands_out_singles() {
+        assert_eq!(chunk_sizes(5, 4, PolicyKind::SelfSched), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn chunked_hands_out_fixed_blocks_with_ragged_tail() {
+        assert_eq!(chunk_sizes(10, 4, PolicyKind::Chunked(4)), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn guided_chunks_decay_geometrically() {
+        let sizes = chunk_sizes(100, 4, PolicyKind::Guided);
+        // First chunk is ceil(100/4) = 25; sizes never increase; tail is 1s.
+        assert_eq!(sizes[0], 25);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "GSS sizes must be non-increasing: {sizes:?}");
+        }
+        assert_eq!(*sizes.last().unwrap(), 1);
+        // The classic bound: roughly p·ln(n/p) + p dispatches — far fewer
+        // than n.
+        assert!(sizes.len() < 30, "{}", sizes.len());
+    }
+
+    #[test]
+    fn gss_first_chunk_formula() {
+        for (n, p) in [(1000u64, 8usize), (37, 5), (64, 64), (5, 16)] {
+            let sizes = chunk_sizes(n, p, PolicyKind::Guided);
+            assert_eq!(sizes[0], n.div_ceil(p as u64));
+        }
+    }
+
+    #[test]
+    fn trapezoid_decreases_linearly() {
+        let sizes = chunk_sizes(1000, 4, PolicyKind::Trapezoid);
+        assert_eq!(sizes[0], 125); // ceil(1000 / (2*4))
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "TSS sizes must be non-increasing: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn factoring_produces_equal_batches() {
+        let sizes = chunk_sizes(100, 4, PolicyKind::Factoring);
+        // First batch: 4 chunks of ceil(50/4)=13.
+        assert_eq!(&sizes[..4], &[13, 13, 13, 13]);
+        // Second batch: remaining 48 → 4 chunks of ceil(24/4)=6.
+        assert_eq!(&sizes[4..8], &[6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn dispenser_counts_fetch_ops_including_empty_grab() {
+        let mut d = Dispenser::with_kind(3, 2, PolicyKind::SelfSched);
+        let mut grabbed = 0;
+        while d.grab().is_some() {
+            grabbed += 1;
+        }
+        assert_eq!(grabbed, 3);
+        assert_eq!(d.fetch_ops(), 4); // 3 successful + 1 empty
+    }
+
+    #[test]
+    fn static_block_assignment_covers_and_balances() {
+        let a = static_assignment(10, 4, StaticKind::Block);
+        let sizes: Vec<u64> = a
+            .iter()
+            .map(|cs| cs.iter().map(|c| c.len).sum::<u64>())
+            .collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn static_cyclic_assignment_interleaves() {
+        let a = static_assignment(7, 3, StaticKind::Cyclic);
+        assert_eq!(a[0].iter().map(|c| c.start).collect::<Vec<_>>(), vec![0, 3, 6]);
+        assert_eq!(a[1].iter().map(|c| c.start).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(a[2].iter().map(|c| c.start).collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn static_block_with_more_processors_than_iterations() {
+        let a = static_assignment(3, 8, StaticKind::Block);
+        let total: u64 = a.iter().flatten().map(|c| c.len).sum();
+        assert_eq!(total, 3);
+        assert!(a[3].is_empty());
+    }
+
+    #[test]
+    fn zero_iteration_loop_dispenses_nothing() {
+        let mut d = Dispenser::with_kind(0, 4, PolicyKind::Guided);
+        assert!(d.grab().is_none());
+        assert_eq!(d.fetch_ops(), 1);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PolicyKind::SelfSched.name(), "SS");
+        assert_eq!(PolicyKind::Chunked(8).name(), "CSS(8)");
+        assert_eq!(PolicyKind::Guided.name(), "GSS");
+        assert_eq!(PolicyKind::Trapezoid.to_string(), "TSS");
+        assert_eq!(PolicyKind::Factoring.name(), "FAC");
+    }
+}

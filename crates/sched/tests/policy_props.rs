@@ -1,0 +1,129 @@
+//! Property tests over the scheduling policies: exact coverage, size
+//! bounds, and the structural guarantees the simulator and runtime rely
+//! on, for randomized `(n, p, policy)` combinations.
+
+use proptest::prelude::*;
+
+use lc_sched::bounds::coalesced_block_length;
+use lc_sched::dispatch::single_loop_dispatch;
+use lc_sched::policy::{static_assignment, Dispenser, PolicyKind, StaticKind};
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::SelfSched),
+        (1u64..200).prop_map(PolicyKind::Chunked),
+        Just(PolicyKind::Guided),
+        Just(PolicyKind::Trapezoid),
+        Just(PolicyKind::Factoring),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunks_partition_the_space_exactly(
+        n in 0u64..5000,
+        p in 1usize..64,
+        kind in any_policy(),
+    ) {
+        let chunks = Dispenser::with_kind(n, p, kind).drain();
+        let mut next = 0u64;
+        for c in &chunks {
+            prop_assert_eq!(c.start, next, "{:?} left a gap", kind);
+            prop_assert!(c.len >= 1);
+            next = c.end();
+        }
+        prop_assert_eq!(next, n, "{:?} did not cover", kind);
+    }
+
+    #[test]
+    fn gss_first_chunk_and_monotone_decay(
+        n in 1u64..100_000,
+        p in 1usize..64,
+    ) {
+        let sizes: Vec<u64> = Dispenser::with_kind(n, p, PolicyKind::Guided)
+            .drain()
+            .iter()
+            .map(|c| c.len)
+            .collect();
+        prop_assert_eq!(sizes[0], n.div_ceil(p as u64));
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{:?}", sizes);
+        // Dispatch count is O(p · ln(n/p) + p), far below n for large n.
+        if n > 100 * p as u64 {
+            let bound = (p as f64) * ((n as f64 / p as f64).ln() + 2.0) + p as f64;
+            prop_assert!(
+                (sizes.len() as f64) < bound * 1.5,
+                "{} chunks vs bound {bound:.0}",
+                sizes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn static_block_matches_the_analytic_bound(
+        n in 1u64..10_000,
+        p in 1usize..64,
+    ) {
+        let assignment = static_assignment(n, p, StaticKind::Block);
+        let max_share = assignment
+            .iter()
+            .map(|cs| cs.iter().map(|c| c.len).sum::<u64>())
+            .max()
+            .unwrap();
+        prop_assert_eq!(max_share, coalesced_block_length(n, p as u64));
+    }
+
+    #[test]
+    fn static_assignments_partition_without_overlap(
+        n in 0u64..3000,
+        p in 1usize..32,
+        cyclic in proptest::bool::ANY,
+    ) {
+        let kind = if cyclic { StaticKind::Cyclic } else { StaticKind::Block };
+        let mut seen = vec![false; n as usize];
+        for cs in static_assignment(n, p, kind) {
+            for c in cs {
+                for i in c.start..c.end() {
+                    prop_assert!(!seen[i as usize], "iteration {i} assigned twice");
+                    seen[i as usize] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dispatch_accounting_is_consistent(
+        n in 0u64..5000,
+        p in 1usize..64,
+        kind in any_policy(),
+    ) {
+        let stats = single_loop_dispatch(n, p, kind);
+        prop_assert_eq!(stats.iterations, n);
+        // One successful fetch per chunk plus one exhaustion fetch per
+        // processor.
+        prop_assert_eq!(stats.fetch_adds, stats.chunks + p as u64);
+        prop_assert!(stats.chunks <= n);
+        if n > 0 {
+            prop_assert!(stats.chunks >= 1);
+        }
+    }
+
+    #[test]
+    fn trapezoid_sizes_never_increase(
+        n in 1u64..50_000,
+        p in 1usize..64,
+    ) {
+        let sizes: Vec<u64> = Dispenser::with_kind(n, p, PolicyKind::Trapezoid)
+            .drain()
+            .iter()
+            .map(|c| c.len)
+            .collect();
+        prop_assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "TSS increased a chunk: {:?}",
+            &sizes[..sizes.len().min(20)]
+        );
+    }
+}

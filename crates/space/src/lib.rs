@@ -1,0 +1,273 @@
+//! `lc-space` — pure iteration-space arithmetic shared by the compiler
+//! pass (`lc-xform`), the machine simulator (`lc-machine`), and the real
+//! runtime (`lc-runtime`).
+//!
+//! A rectangular nest with trip counts `dims = [N_1, …, N_m]` defines an
+//! iteration space of `N = Π N_k` points. Coalescing traverses that space
+//! with a single 1-based index `j ∈ 1..=N` in lexicographic (row-major)
+//! order; this crate provides the bijections between `j` and the index
+//! vector `(i_1, …, i_m)`:
+//!
+//! * [`recover_ceiling`] — the paper's formula, ceiling divisions only:
+//!   `i_k = ⌈j / P_{k+1}⌉ − N_k · (⌈j / P_k⌉ − 1)` with
+//!   `P_k = N_k·…·N_m`;
+//! * [`recover_divmod`] — conventional division + modulus on `j − 1`;
+//! * [`Odometer`] — incremental recovery for consecutive `j` (amortized
+//!   O(1) additions per step);
+//! * [`linearize`] — the inverse mapping.
+//!
+//! All indices are 1-based (Fortran-style, matching the paper); all
+//! quantities are non-negative, so plain integer division suffices.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Ceiling division of positive quantities.
+#[inline]
+fn cdiv(a: i64, b: i64) -> i64 {
+    debug_assert!(a >= 0 && b > 0);
+    (a + b - 1) / b
+}
+
+/// `stride_k = Π_{l>k} dims[l]` for each level (the innermost stride is 1).
+pub fn strides(dims: &[u64]) -> Vec<u64> {
+    let mut out = vec![1u64; dims.len()];
+    for k in (0..dims.len().saturating_sub(1)).rev() {
+        out[k] = out[k + 1].saturating_mul(dims[k + 1]);
+    }
+    out
+}
+
+/// Total iteration count `N = Π dims[k]`; `None` if it exceeds `i64::MAX`.
+pub fn total_iterations(dims: &[u64]) -> Option<u64> {
+    let n = dims.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d))?;
+    (n <= i64::MAX as u64).then_some(n)
+}
+
+/// Map a 1-based index vector to the 1-based coalesced index `j`.
+pub fn linearize(indices: &[i64], dims: &[u64]) -> i64 {
+    debug_assert_eq!(indices.len(), dims.len());
+    let mut q: i64 = 0;
+    for (&ix, &d) in indices.iter().zip(dims) {
+        debug_assert!(ix >= 1 && ix as u64 <= d);
+        q = q * d as i64 + (ix - 1);
+    }
+    q + 1
+}
+
+/// Recover the index vector from `j` using the paper's ceiling formula.
+pub fn recover_ceiling(j: i64, dims: &[u64]) -> Vec<i64> {
+    let mut out = vec![0i64; dims.len()];
+    recover_ceiling_into(j, dims, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`recover_ceiling`].
+pub fn recover_ceiling_into(j: i64, dims: &[u64], out: &mut Vec<i64>) {
+    let st = strides(dims);
+    out.clear();
+    for k in 0..dims.len() {
+        let inner = st[k] as i64; // P_{k+1}
+        let outer = (st[k] * dims[k]) as i64; // P_k
+        out.push(cdiv(j, inner) - dims[k] as i64 * (cdiv(j, outer) - 1));
+    }
+}
+
+/// Recover the index vector from `j` using floor division and modulus.
+pub fn recover_divmod(j: i64, dims: &[u64]) -> Vec<i64> {
+    let mut out = vec![0i64; dims.len()];
+    recover_divmod_into(j, dims, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`recover_divmod`].
+pub fn recover_divmod_into(j: i64, dims: &[u64], out: &mut Vec<i64>) {
+    debug_assert!(j >= 1);
+    let mut q = (j - 1) as u64;
+    out.clear();
+    out.resize(dims.len(), 1);
+    for k in (0..dims.len()).rev() {
+        let d = dims[k].max(1);
+        out[k] = (q % d) as i64 + 1;
+        q /= d;
+    }
+}
+
+/// Counters describing the work an [`Odometer`] has done, used by the
+/// recovery-cost experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OdometerStats {
+    /// Calls to [`Odometer::advance`].
+    pub advances: u64,
+    /// Digit increments performed (≥ `advances`; the excess is carries).
+    pub digit_updates: u64,
+}
+
+/// Incremental index recovery: an odometer over the iteration space.
+///
+/// Within a chunk of consecutive `j` values a worker calls
+/// [`Odometer::advance`] once per iteration — an add and a compare per
+/// touched digit, amortized `O(1)` — instead of re-running a
+/// division-based recovery.
+#[derive(Debug, Clone)]
+pub struct Odometer {
+    dims: Vec<u64>,
+    current: Vec<i64>,
+    exhausted: bool,
+    stats: OdometerStats,
+}
+
+impl Odometer {
+    /// Position the odometer at the first iteration (`j = 1`).
+    pub fn new(dims: &[u64]) -> Self {
+        Odometer {
+            current: vec![1; dims.len()],
+            exhausted: dims.contains(&0),
+            dims: dims.to_vec(),
+            stats: OdometerStats::default(),
+        }
+    }
+
+    /// Position the odometer at coalesced index `j` (1-based), paying one
+    /// div/mod recovery.
+    pub fn from_linear(j: i64, dims: &[u64]) -> Self {
+        Odometer {
+            current: recover_divmod(j, dims),
+            exhausted: dims.contains(&0),
+            dims: dims.to_vec(),
+            stats: OdometerStats::default(),
+        }
+    }
+
+    /// The current 1-based index vector.
+    pub fn indices(&self) -> &[i64] {
+        &self.current
+    }
+
+    /// True once the odometer has stepped past the last iteration.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Step to the next iteration. Returns `false` (and marks the odometer
+    /// exhausted) when the last iteration has been passed.
+    pub fn advance(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        self.stats.advances += 1;
+        for k in (0..self.dims.len()).rev() {
+            self.stats.digit_updates += 1;
+            if (self.current[k] as u64) < self.dims[k] {
+                self.current[k] += 1;
+                return true;
+            }
+            self.current[k] = 1; // carry into the next digit
+        }
+        self.exhausted = true;
+        false
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> OdometerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_suffix_products() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[7]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn schemes_agree_and_invert_exhaustively() {
+        let dims = [2u64, 3, 4];
+        let n = total_iterations(&dims).unwrap() as i64;
+        for j in 1..=n {
+            let a = recover_ceiling(j, &dims);
+            let b = recover_divmod(j, &dims);
+            assert_eq!(a, b, "schemes disagree at j={j}");
+            assert_eq!(linearize(&a, &dims), j);
+        }
+    }
+
+    #[test]
+    fn total_iterations_overflow_is_none() {
+        assert_eq!(total_iterations(&[u64::MAX, 2]), None);
+        assert_eq!(total_iterations(&[6, 7]), Some(42));
+        assert_eq!(total_iterations(&[]), Some(1));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let mut buf = Vec::new();
+        recover_divmod_into(5, &[2, 3], &mut buf);
+        assert_eq!(buf, vec![2, 2]);
+        recover_ceiling_into(5, &[2, 3], &mut buf);
+        assert_eq!(buf, vec![2, 2]);
+    }
+
+    #[test]
+    fn odometer_full_sweep_matches_divmod() {
+        let dims = [2u64, 3, 2];
+        let mut odo = Odometer::new(&dims);
+        for j in 1..=12i64 {
+            assert_eq!(odo.indices(), recover_divmod(j, &dims).as_slice());
+            odo.advance();
+        }
+        assert!(odo.exhausted());
+    }
+
+    #[test]
+    fn odometer_amortized_bound() {
+        let dims = [8u64, 16];
+        let mut odo = Odometer::new(&dims);
+        while odo.advance() {}
+        let s = odo.stats();
+        assert_eq!(s.advances, 128);
+        assert!(s.digit_updates <= 2 * 128);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bijection(
+            dims in proptest::collection::vec(1u64..8, 1..5),
+            seed in 0u64..100_000,
+        ) {
+            let n = total_iterations(&dims).unwrap();
+            let j = (seed % n) as i64 + 1;
+            let a = recover_ceiling(j, &dims);
+            let b = recover_divmod(j, &dims);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(linearize(&a, &dims), j);
+            for (k, ix) in a.iter().enumerate() {
+                prop_assert!(*ix >= 1 && *ix as u64 <= dims[k]);
+            }
+        }
+
+        #[test]
+        fn prop_odometer_tracks_linear_index(
+            dims in proptest::collection::vec(1u64..6, 1..4),
+            start in 0u64..50,
+            len in 1u64..30,
+        ) {
+            let n = total_iterations(&dims).unwrap();
+            let start = (start % n) + 1;
+            let mut odo = Odometer::from_linear(start as i64, &dims);
+            for step in 0..len {
+                let j = start + step;
+                if j > n { break; }
+                let expect = recover_divmod(j as i64, &dims);
+                prop_assert_eq!(odo.indices(), expect.as_slice());
+                odo.advance();
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-iteration cost models for the machine simulator.
+//!
+//! The scheduling experiments sweep both *uniform* bodies (where static
+//! schedules shine) and *skewed* bodies (where dynamic policies and the
+//! extra balance exposed by coalescing pay off). All models are pure
+//! functions of the index vector — deterministic and platform independent.
+
+/// A deterministic per-iteration cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkModel {
+    /// Every iteration costs the same.
+    Constant(u64),
+    /// Cost grows linearly with the outermost index:
+    /// `base + slope · (i1 − 1)`.
+    LinearOuter {
+        /// Cost of the first outer iteration.
+        base: u64,
+        /// Increment per outer index step.
+        slope: u64,
+    },
+    /// Triangular mask: iterations with `i2 ≤ i1` are heavy, the rest
+    /// light — the shape of triangular solvers and of the thesis-era
+    /// Gauss–Jordan inner loops. Falls back to `heavy` for depth-1 nests.
+    TriangularMask {
+        /// Cost inside the triangle.
+        heavy: u64,
+        /// Cost outside the triangle.
+        light: u64,
+    },
+    /// Seeded pseudo-random cost per iteration:
+    /// `base + hash(iv, seed) % spread`.
+    Random {
+        /// Minimum cost.
+        base: u64,
+        /// Cost spread (exclusive upper offset).
+        spread: u64,
+        /// Hash seed, so experiments can draw independent workloads.
+        seed: u64,
+    },
+    /// Every `heavy_every`-th iteration (by linearized position of the
+    /// outer index) is heavy, the rest light.
+    Bimodal {
+        /// Common case cost.
+        light: u64,
+        /// Spike cost.
+        heavy: u64,
+        /// Spike period (≥ 1).
+        heavy_every: u64,
+    },
+}
+
+impl WorkModel {
+    /// Cost of the iteration at 1-based index vector `iv`.
+    pub fn cost(&self, iv: &[i64]) -> u64 {
+        match *self {
+            WorkModel::Constant(c) => c,
+            WorkModel::LinearOuter { base, slope } => {
+                let i1 = iv.first().copied().unwrap_or(1).max(1) as u64;
+                base + slope * (i1 - 1)
+            }
+            WorkModel::TriangularMask { heavy, light } => {
+                if iv.len() < 2 || iv[1] <= iv[0] {
+                    heavy
+                } else {
+                    light
+                }
+            }
+            WorkModel::Random { base, spread, seed } => {
+                if spread == 0 {
+                    return base;
+                }
+                base + hash_iv(iv, seed) % spread
+            }
+            WorkModel::Bimodal {
+                light,
+                heavy,
+                heavy_every,
+            } => {
+                let i1 = iv.first().copied().unwrap_or(1).max(1) as u64;
+                if i1.is_multiple_of(heavy_every.max(1)) {
+                    heavy
+                } else {
+                    light
+                }
+            }
+        }
+    }
+
+    /// Display name for experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            WorkModel::Constant(c) => format!("const({c})"),
+            WorkModel::LinearOuter { base, slope } => format!("linear({base}+{slope}·i)"),
+            WorkModel::TriangularMask { heavy, light } => format!("tri({heavy}/{light})"),
+            WorkModel::Random { base, spread, .. } => format!("rand({base}..{})", base + spread),
+            WorkModel::Bimodal {
+                light,
+                heavy,
+                heavy_every,
+            } => format!("bimodal({light}/{heavy}@{heavy_every})"),
+        }
+    }
+
+    /// Total cost over a whole rectangular space — the sequential body
+    /// work, used as the speedup baseline.
+    pub fn total(&self, dims: &[u64]) -> u64 {
+        let mut sum = 0;
+        let n: u64 = dims.iter().product();
+        let mut odo = lc_space::Odometer::new(dims);
+        for _ in 0..n {
+            sum += self.cost(odo.indices());
+            odo.advance();
+        }
+        sum
+    }
+}
+
+/// FNV-1a over the index words mixed with the seed; cheap, deterministic,
+/// and good enough to decorrelate iteration costs.
+fn hash_iv(iv: &[i64], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &x in iv {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // Final avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = WorkModel::Constant(7);
+        assert_eq!(m.cost(&[1, 1]), 7);
+        assert_eq!(m.cost(&[9, 3]), 7);
+        assert_eq!(m.total(&[4, 5]), 140);
+    }
+
+    #[test]
+    fn linear_grows_with_outer_index_only() {
+        let m = WorkModel::LinearOuter { base: 10, slope: 3 };
+        assert_eq!(m.cost(&[1, 5]), 10);
+        assert_eq!(m.cost(&[4, 1]), 19);
+        assert_eq!(m.cost(&[4, 9]), 19);
+    }
+
+    #[test]
+    fn triangular_mask_splits_on_diagonal() {
+        let m = WorkModel::TriangularMask {
+            heavy: 100,
+            light: 1,
+        };
+        assert_eq!(m.cost(&[5, 5]), 100);
+        assert_eq!(m.cost(&[5, 6]), 1);
+        assert_eq!(m.cost(&[6, 5]), 100);
+        // Depth-1 vectors default to heavy.
+        assert_eq!(m.cost(&[3]), 100);
+    }
+
+    #[test]
+    fn triangular_total_counts_triangle() {
+        let m = WorkModel::TriangularMask { heavy: 10, light: 0 };
+        // 4x4: triangle (j <= i) has 10 cells.
+        assert_eq!(m.total(&[4, 4]), 100);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_seed_dependent() {
+        let a = WorkModel::Random {
+            base: 5,
+            spread: 100,
+            seed: 1,
+        };
+        let b = WorkModel::Random {
+            base: 5,
+            spread: 100,
+            seed: 2,
+        };
+        assert_eq!(a.cost(&[3, 4]), a.cost(&[3, 4]));
+        let differs = (1..20).any(|i| a.cost(&[i, 1]) != b.cost(&[i, 1]));
+        assert!(differs, "seeds must decorrelate");
+        for i in 1..50 {
+            let c = a.cost(&[i, i]);
+            assert!((5..105).contains(&c));
+        }
+    }
+
+    #[test]
+    fn random_with_zero_spread_is_base() {
+        let m = WorkModel::Random {
+            base: 9,
+            spread: 0,
+            seed: 3,
+        };
+        assert_eq!(m.cost(&[1]), 9);
+    }
+
+    #[test]
+    fn bimodal_spikes_periodically() {
+        let m = WorkModel::Bimodal {
+            light: 1,
+            heavy: 50,
+            heavy_every: 4,
+        };
+        assert_eq!(m.cost(&[4, 1]), 50);
+        assert_eq!(m.cost(&[8, 9]), 50);
+        assert_eq!(m.cost(&[5, 1]), 1);
+    }
+
+    #[test]
+    fn totals_match_manual_sums() {
+        let m = WorkModel::LinearOuter { base: 1, slope: 1 };
+        // dims [3, 2]: costs per outer index 1,2,3 each twice = 12.
+        assert_eq!(m.total(&[3, 2]), 12);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert!(WorkModel::Constant(5).name().contains('5'));
+        assert!(WorkModel::TriangularMask { heavy: 2, light: 1 }
+            .name()
+            .starts_with("tri"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Kernel programs written in the `lc-ir` DSL.
+//!
+//! Each kernel is a complete, runnable program: inputs are materialized by
+//! deterministic fill loops so the interpreter (and the equivalence
+//! checker) can execute it with no external data. The [`Kernel`] record
+//! points at the loop nest the transformation targets and the band of
+//! levels the paper would coalesce.
+
+use lc_ir::parser::parse_program;
+use lc_ir::program::Program;
+use lc_ir::stmt::Stmt;
+
+/// A named kernel: its program, which top-level statement is the target
+/// nest, and which levels to coalesce.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name for tables.
+    pub name: &'static str,
+    /// The full program (fills + computation).
+    pub program: Program,
+    /// Index into `program.body` of the loop to transform.
+    pub loop_index: usize,
+    /// Level band `[start, end)` to coalesce (None = whole nest).
+    pub band: Option<(usize, usize)>,
+    /// Trip counts of the coalesced band (for scheduling experiments).
+    pub dims: Vec<u64>,
+}
+
+impl Kernel {
+    /// The target loop statement.
+    pub fn target_loop(&self) -> &lc_ir::stmt::Loop {
+        match &self.program.body[self.loop_index] {
+            Stmt::Loop(l) => l,
+            other => panic!("kernel target is not a loop: {other:?}"),
+        }
+    }
+}
+
+fn parse(name: &'static str, src: &str) -> Program {
+    parse_program(src).unwrap_or_else(|e| panic!("kernel `{name}` failed to parse: {e}"))
+}
+
+/// `C = A × B` over integers. The (i, j) product nest is the coalescing
+/// target; the k loop is a serial reduction into a privatizable scalar —
+/// the exact shape of the thesis's matrix-multiplication example of loop
+/// coalescing.
+pub fn matmul(n: u64, m: u64, k: u64) -> Kernel {
+    let src = format!(
+        "
+        array A[{n}][{k}];
+        array B[{k}][{m}];
+        array C[{n}][{m}];
+        doall i = 1..{n} {{
+            doall l = 1..{k} {{
+                A[i][l] = (i * 7 + l * 3) % 11 - 5;
+            }}
+        }}
+        doall l = 1..{k} {{
+            doall j = 1..{m} {{
+                B[l][j] = (l * 5 + j * 2) % 13 - 6;
+            }}
+        }}
+        doall i = 1..{n} {{
+            doall j = 1..{m} {{
+                acc = 0;
+                for l = 1..{k} {{
+                    acc = acc + A[i][l] * B[l][j];
+                }}
+                C[i][j] = acc;
+            }}
+        }}
+        "
+    );
+    Kernel {
+        name: "matmul",
+        program: parse("matmul", &src),
+        loop_index: 2,
+        band: Some((0, 2)),
+        dims: vec![n, m],
+    }
+}
+
+/// The Gauss–Jordan *back-substitution* nest (the thesis's second phase):
+/// `X[i][j] = AB[i][j + n] / AB[i][i]` — a doubly parallel nest the
+/// appendix explicitly coalesces. The elimination diagonal is seeded
+/// non-zero so the integer division is well defined.
+pub fn gauss_jordan_backsub(n: u64, m: u64) -> Kernel {
+    let nm = n + m;
+    let src = format!(
+        "
+        array AB[{n}][{nm}];
+        array X[{n}][{m}];
+        doall i = 1..{n} {{
+            doall j = 1..{nm} {{
+                if i == j {{
+                    AB[i][j] = i + 1;
+                }} else {{
+                    AB[i][j] = (i * 3 + j * 5) % 17 - 8;
+                }}
+            }}
+        }}
+        doall i = 1..{n} {{
+            doall j = 1..{m} {{
+                X[i][j] = AB[i][j + {n}] / AB[i][i];
+            }}
+        }}
+        "
+    );
+    Kernel {
+        name: "gauss_jordan_backsub",
+        program: parse("gauss_jordan_backsub", &src),
+        loop_index: 1,
+        band: Some((0, 2)),
+        dims: vec![n, m],
+    }
+}
+
+/// A 5-point-ish 2-D stencil reading a halo array: fully parallel,
+/// memory-bound, subscripts offset by ±1.
+pub fn stencil2d(n: u64, m: u64) -> Kernel {
+    let n2 = n + 2;
+    let m2 = m + 2;
+    let src = format!(
+        "
+        array IN[{n2}][{m2}];
+        array OUT[{n}][{m}];
+        doall i = 1..{n2} {{
+            doall j = 1..{m2} {{
+                IN[i][j] = (i * i + j * 3) % 19 - 9;
+            }}
+        }}
+        doall i = 1..{n} {{
+            doall j = 1..{m} {{
+                OUT[i][j] = (IN[i][j] + IN[i + 1][j] + IN[i + 2][j]
+                    + IN[i + 1][j + 1] + IN[i + 1][j + 2]) / 5;
+            }}
+        }}
+        "
+    );
+    Kernel {
+        name: "stencil2d",
+        program: parse("stencil2d", &src),
+        loop_index: 1,
+        band: Some((0, 2)),
+        dims: vec![n, m],
+    }
+}
+
+/// A triangular-mask nest: work only happens for `j ≤ i`. Rectangular
+/// bounds with a guard (the coalescable formulation of a triangular
+/// computation) — the load-imbalance workload of the figures.
+pub fn triangular_mask(n: u64) -> Kernel {
+    let src = format!(
+        "
+        array A[{n}][{n}];
+        doall i = 1..{n} {{
+            doall j = 1..{n} {{
+                if j <= i {{
+                    A[i][j] = i * j + i - j;
+                }} else {{
+                    A[i][j] = 0 - 1;
+                }}
+            }}
+        }}
+        "
+    );
+    Kernel {
+        name: "triangular_mask",
+        program: parse("triangular_mask", &src),
+        loop_index: 0,
+        band: Some((0, 2)),
+        dims: vec![n, n],
+    }
+}
+
+/// π-integration partial sums: `tasks` workers each integrate an
+/// interleaved subset of `intervals` rectangle heights into a private
+/// array slot (the thesis's calculate_pi, integerized with fixed-point
+/// arithmetic). The outer doall is the coalescing target (trivially — one
+/// level), and the final accumulation stays serial.
+pub fn pi_partial_sums(tasks: u64, intervals: u64) -> Kernel {
+    // Fixed-point: heights scaled by 10^6; x = (c - 0.5)/intervals.
+    let src = format!(
+        "
+        array SUM[{tasks}];
+        array PI[1];
+        doall t = 1..{tasks} {{
+            local = 0;
+            c = t;
+            for step = 1..{intervals} {{
+                if c <= {intervals} {{
+                    num = 4000000 * {intervals} * {intervals};
+                    den = {intervals} * {intervals} + (2 * c - 1) * (2 * c - 1) / 4;
+                    local = local + num / den / {intervals};
+                    c = c + {tasks};
+                }}
+            }}
+            SUM[t] = local;
+        }}
+        total = 0;
+        for t = 1..{tasks} {{
+            total = total + SUM[t];
+        }}
+        PI[1] = total;
+        "
+    );
+    Kernel {
+        name: "pi_partial_sums",
+        program: parse("pi_partial_sums", &src),
+        loop_index: 0,
+        band: Some((0, 1)),
+        dims: vec![tasks],
+    }
+}
+
+/// A depth-3 uniform nest (the depth-scaling workload of Figure 4).
+pub fn cube_fill(n1: u64, n2: u64, n3: u64) -> Kernel {
+    let src = format!(
+        "
+        array V[{n1}][{n2}][{n3}];
+        doall i = 1..{n1} {{
+            doall j = 1..{n2} {{
+                doall k = 1..{n3} {{
+                    V[i][j][k] = i * 100 + j * 10 + k;
+                }}
+            }}
+        }}
+        "
+    );
+    Kernel {
+        name: "cube_fill",
+        program: parse("cube_fill", &src),
+        loop_index: 0,
+        band: Some((0, 3)),
+        dims: vec![n1, n2, n3],
+    }
+}
+
+/// All kernels at smoke-test sizes (used by integration tests).
+pub fn all_small() -> Vec<Kernel> {
+    vec![
+        matmul(6, 5, 4),
+        gauss_jordan_backsub(6, 4),
+        stencil2d(6, 7),
+        triangular_mask(8),
+        pi_partial_sums(4, 32),
+        cube_fill(3, 4, 5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::interp::Interp;
+
+    #[test]
+    fn all_kernels_parse_check_and_run() {
+        for k in all_small() {
+            let store = Interp::new()
+                .run(&k.program)
+                .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", k.name));
+            // Make sure the run actually produced data.
+            let any_nonzero = store
+                .iter()
+                .any(|(_, arr)| arr.data.iter().any(|&v| v != 0));
+            assert!(any_nonzero, "kernel `{}` produced all zeros", k.name);
+        }
+    }
+
+    #[test]
+    fn matmul_spot_check() {
+        let k = matmul(3, 3, 3);
+        let store = Interp::new().run(&k.program).unwrap();
+        // Recompute C[2][3] by hand from the fill formulas.
+        let a = |i: i64, l: i64| (i * 7 + l * 3).rem_euclid(11) - 5;
+        let b = |l: i64, j: i64| (l * 5 + j * 2).rem_euclid(13) - 6;
+        let want: i64 = (1..=3).map(|l| a(2, l) * b(l, 3)).sum();
+        assert_eq!(store.get("C", &[2, 3]).unwrap(), want);
+    }
+
+    #[test]
+    fn gauss_jordan_diagonal_is_nonzero() {
+        let k = gauss_jordan_backsub(5, 3);
+        let store = Interp::new().run(&k.program).unwrap();
+        for i in 1..=5 {
+            assert_eq!(store.get("AB", &[i, i]).unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn triangular_mask_shape() {
+        let k = triangular_mask(5);
+        let store = Interp::new().run(&k.program).unwrap();
+        assert_eq!(store.get("A", &[3, 5]).unwrap(), -1); // outside
+        assert_eq!(store.get("A", &[5, 3]).unwrap(), 17); // 15 + 5 - 3
+    }
+
+    #[test]
+    fn pi_partial_sums_approximates_pi() {
+        let k = pi_partial_sums(4, 256);
+        let store = Interp::new().run(&k.program).unwrap();
+        let fixed = store.get("PI", &[1]).unwrap();
+        let pi = fixed as f64 / 1_000_000.0;
+        assert!(
+            (pi - std::f64::consts::PI).abs() < 0.05,
+            "pi approx {pi} too far off"
+        );
+    }
+
+    #[test]
+    fn kernel_target_loop_accessor() {
+        let k = cube_fill(2, 2, 2);
+        assert_eq!(k.target_loop().var.as_str(), "i");
+        assert_eq!(k.dims, vec![2, 2, 2]);
+    }
+}

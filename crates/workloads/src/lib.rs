@@ -1,0 +1,30 @@
+//! `lc-workloads` — benchmark kernels and iteration-time models.
+//!
+//! Two kinds of workload feed the experiments:
+//!
+//! * [`kernels`] — small IR programs (written in the `lc-ir` DSL) whose
+//!   loop nests are the transformation targets: matrix multiplication,
+//!   the Gauss–Jordan back-substitution nest, a 2-D stencil, a triangular
+//!   masked nest, and a π-integration partial-sum loop. Each kernel knows
+//!   which statement holds the nest and which band of levels to coalesce.
+//! * [`itertime`] — per-iteration *cost* models for the machine simulator
+//!   (constant, linear-in-outer-index, triangular mask, seeded random,
+//!   bimodal), reproducing the uniform and skewed workloads the
+//!   scheduling figures sweep.
+//! * [`rt`] — plain-Rust closures of the same kernels for the real-thread
+//!   runtime benchmarks.
+//! * [`simcost`] — IR-derived per-iteration costs: run one kernel
+//!   iteration under the interpreter's op accounting and hand the result
+//!   to the machine simulator (real kernels, not synthetic cost models).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod itertime;
+pub mod kernels;
+pub mod rt;
+pub mod simcost;
+
+pub use itertime::WorkModel;
+pub use kernels::Kernel;
+pub use simcost::IrBodyCost;

@@ -1,0 +1,139 @@
+//! Plain-Rust kernel bodies for the real-thread runtime benchmarks.
+//!
+//! Outputs are atomic arrays (each cell is written by exactly one
+//! iteration, so `Relaxed` stores suffice); this keeps the whole workspace
+//! free of `unsafe` while still writing shared memory from many workers.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// An `n × m` integer matrix with atomic cells.
+pub struct AtomicMatrix {
+    /// Rows.
+    pub n: usize,
+    /// Columns.
+    pub m: usize,
+    data: Vec<AtomicI64>,
+}
+
+impl AtomicMatrix {
+    /// Zero-filled matrix.
+    pub fn zeroed(n: usize, m: usize) -> Self {
+        AtomicMatrix {
+            n,
+            m,
+            data: (0..n * m).map(|_| AtomicI64::new(0)).collect(),
+        }
+    }
+
+    /// Store into `(i, j)` (0-based).
+    pub fn store(&self, i: usize, j: usize, v: i64) {
+        self.data[i * self.m + j].store(v, Ordering::Relaxed);
+    }
+
+    /// Load from `(i, j)` (0-based).
+    pub fn load(&self, i: usize, j: usize) -> i64 {
+        self.data[i * self.m + j].load(Ordering::Relaxed)
+    }
+
+    /// Copy out as a plain vector (row-major).
+    pub fn snapshot(&self) -> Vec<i64> {
+        self.data.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Deterministic input matrix A for the runtime matmul (row-major).
+pub fn gen_a(n: usize, k: usize) -> Vec<i64> {
+    (0..n * k).map(|x| ((x * 7 + 3) % 11) as i64 - 5).collect()
+}
+
+/// Deterministic input matrix B for the runtime matmul (row-major).
+pub fn gen_b(k: usize, m: usize) -> Vec<i64> {
+    (0..k * m).map(|x| ((x * 5 + 1) % 13) as i64 - 6).collect()
+}
+
+/// Serial reference matmul.
+pub fn matmul_serial(a: &[i64], b: &[i64], n: usize, m: usize, k: usize) -> Vec<i64> {
+    let mut c = vec![0i64; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * m + j];
+            }
+            c[i * m + j] = acc;
+        }
+    }
+    c
+}
+
+/// The matmul body for one `(i, j)` cell (1-based indices as delivered by
+/// the runtime's nest executors).
+pub fn matmul_cell(a: &[i64], b: &[i64], c: &AtomicMatrix, k: usize, iv: &[i64]) {
+    let (i, j) = (iv[0] as usize - 1, iv[1] as usize - 1);
+    let m = c.m;
+    let mut acc = 0i64;
+    for l in 0..k {
+        acc += a[i * k + l] * b[l * m + j];
+    }
+    c.store(i, j, acc);
+}
+
+/// A deliberately imbalanced body: cells below the diagonal spin
+/// proportionally to their row index. Returns a value derived from the
+/// spin so the work cannot be optimized away.
+pub fn imbalanced_cell(weight: u64, iv: &[i64]) -> i64 {
+    let (i, j) = (iv[0], iv.get(1).copied().unwrap_or(1));
+    let spins = if j <= i { weight * i as u64 } else { 1 };
+    let mut acc = i ^ j;
+    for s in 0..spins {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s as i64);
+    }
+    std::hint::black_box(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_matmul_identity() {
+        // A × I = A for a 3×3 identity.
+        let a = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let eye = vec![1, 0, 0, 0, 1, 0, 0, 0, 1];
+        assert_eq!(matmul_serial(&a, &eye, 3, 3, 3), a);
+    }
+
+    #[test]
+    fn atomic_matrix_roundtrip() {
+        let m = AtomicMatrix::zeroed(2, 3);
+        m.store(1, 2, 42);
+        assert_eq!(m.load(1, 2), 42);
+        assert_eq!(m.snapshot(), vec![0, 0, 0, 0, 0, 42]);
+    }
+
+    #[test]
+    fn matmul_cell_matches_serial() {
+        let (n, m, k) = (4, 5, 3);
+        let a = gen_a(n, k);
+        let b = gen_b(k, m);
+        let want = matmul_serial(&a, &b, n, m, k);
+        let c = AtomicMatrix::zeroed(n, m);
+        for i in 1..=n as i64 {
+            for j in 1..=m as i64 {
+                matmul_cell(&a, &b, &c, k, &[i, j]);
+            }
+        }
+        assert_eq!(c.snapshot(), want);
+    }
+
+    #[test]
+    fn imbalanced_cell_is_deterministic() {
+        assert_eq!(imbalanced_cell(10, &[3, 2]), imbalanced_cell(10, &[3, 2]));
+    }
+
+    #[test]
+    fn generators_are_bounded() {
+        assert!(gen_a(8, 8).iter().all(|v| (-5..=5).contains(v)));
+        assert!(gen_b(8, 8).iter().all(|v| (-6..=6).contains(v)));
+    }
+}

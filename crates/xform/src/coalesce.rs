@@ -1,0 +1,956 @@
+//! The loop-coalescing transformation.
+//!
+//! Coalescing rewrites a perfect nest of parallel loops
+//!
+//! ```text
+//! doall i1 = 1..N1 { doall i2 = 1..N2 { ... BODY ... } }
+//! ```
+//!
+//! into a single parallel loop over the whole iteration space
+//!
+//! ```text
+//! doall j = 1..N1*N2 {
+//!     i1 = ceildiv(j, N2);
+//!     i2 = j - N2 * (ceildiv(j, N2) - 1);
+//!     BODY
+//! }
+//! ```
+//!
+//! so that a self-scheduled machine dispatches iterations from **one**
+//! shared counter instead of one counter (and one barrier) per nest level.
+//! Partial collapse — coalescing only a contiguous band of levels — is
+//! supported; outer levels are preserved around the coalesced loop and
+//! inner levels are preserved inside it.
+//!
+//! # Legality
+//!
+//! A band of levels may be coalesced when
+//!
+//! 1. the loops form a perfect nest with constant (normalizable) bounds,
+//! 2. no data dependence is *carried* at any coalesced level (each level is
+//!    DOALL-legal) — either the programmer marked every level `doall`, or
+//!    [`CoalesceOptions::check_legality`] lets the dependence tester prove
+//!    it, and
+//! 3. every scalar assigned in the body is dead on entry to each iteration
+//!    (privatizable): the body never reads it before writing it. Scalar
+//!    reductions (`s = s + …`) are rejected.
+
+use std::collections::HashSet;
+
+use lc_ir::analysis::depend::analyze_nest;
+use lc_ir::analysis::nest::{extract_nest, Nest};
+use lc_ir::expr::{Cond, Expr};
+use lc_ir::stmt::{Loop, LoopKind, Stmt};
+use lc_ir::symbol::Symbol;
+use lc_ir::{Error, Result};
+
+use crate::normalize::normalize_nest;
+use crate::recovery::{per_iteration_cost, recovery_stmts, total_iterations, RecoveryScheme};
+
+/// Options controlling [`coalesce_loop`].
+#[derive(Debug, Clone)]
+pub struct CoalesceOptions {
+    /// Index-recovery code to emit (default: the paper's ceiling formula).
+    pub scheme: RecoveryScheme,
+    /// Verify DOALL legality with the dependence tester. When `false`,
+    /// every coalesced level must already be marked `doall`.
+    pub check_legality: bool,
+    /// The contiguous band of 0-based levels to coalesce, `[start, end)`.
+    /// `None` coalesces the whole nest.
+    pub levels: Option<(usize, usize)>,
+    /// Name for the coalesced index variable; a fresh name derived from
+    /// `jc` is chosen when `None` or when the given name collides.
+    pub coalesced_var: Option<Symbol>,
+    /// Automatically normalize non-unit-step / offset loops first.
+    pub auto_normalize: bool,
+    /// Run common-subexpression extraction over the emitted recovery
+    /// statements (hoists the shared `⌈j/P⌉` terms — the paper's
+    /// strength-reduction remark; only pays off for nests ≥ 3 deep).
+    pub strength_reduce: bool,
+}
+
+impl Default for CoalesceOptions {
+    fn default() -> Self {
+        CoalesceOptions {
+            scheme: RecoveryScheme::Ceiling,
+            check_legality: true,
+            levels: None,
+            coalesced_var: None,
+            auto_normalize: true,
+            strength_reduce: false,
+        }
+    }
+}
+
+/// Metadata describing what a coalescing did (consumed by the scheduling
+/// and benchmark layers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalesceInfo {
+    /// Trip count of each coalesced level, outermost first.
+    pub dims: Vec<u64>,
+    /// `Π dims` — the coalesced loop's trip count.
+    pub total_iterations: u64,
+    /// Recovery scheme emitted.
+    pub scheme: RecoveryScheme,
+    /// Abstract per-iteration cost of the emitted recovery statements.
+    pub recovery_cost_per_iteration: u64,
+    /// The band `[start, end)` of original levels that were coalesced.
+    pub levels: (usize, usize),
+    /// Depth of the original nest.
+    pub original_depth: usize,
+    /// The coalesced loop's index variable.
+    pub coalesced_var: Symbol,
+}
+
+/// A coalescing outcome: the rewritten loop plus its metadata.
+#[derive(Debug, Clone)]
+pub struct CoalesceResult {
+    /// The transformed outermost loop (outer uncoalesced levels intact).
+    pub transformed: Loop,
+    /// What happened.
+    pub info: CoalesceInfo,
+}
+
+/// Coalesce (a band of levels of) the perfect nest rooted at `l`.
+pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult> {
+    let mut nest = extract_nest(l);
+    if opts.auto_normalize {
+        nest = normalize_nest(&nest)?;
+    } else {
+        crate::normalize::require_normalized(&nest.loops)?;
+    }
+    let depth = nest.depth();
+    let (start, end) = opts.levels.unwrap_or((0, depth));
+    if start >= end || end > depth {
+        return Err(Error::Unsupported(format!(
+            "invalid level band [{start}, {end}) for nest of depth {depth}"
+        )));
+    }
+
+    check_band_legality(&nest, start, end, opts)?;
+
+    let dims: Vec<u64> = nest.loops[start..end]
+        .iter()
+        .map(|h| h.const_trip_count().expect("normalized"))
+        .collect();
+    let total = total_iterations(&dims)?;
+
+    let jvar = fresh_var(opts.coalesced_var.clone(), &nest);
+    let level_vars: Vec<Symbol> = nest.loops[start..end]
+        .iter()
+        .map(|h| h.var.clone())
+        .collect();
+
+    // Innermost body: the uncoalesced inner levels wrapped around the nest
+    // body, unchanged.
+    let mut inner_body = nest.body.clone();
+    for h in nest.loops[end..].iter().rev() {
+        inner_body = vec![Stmt::Loop(Loop {
+            var: h.var.clone(),
+            lower: h.lower.clone(),
+            upper: h.upper.clone(),
+            step: h.step.clone(),
+            kind: h.kind,
+            body: inner_body,
+        })];
+    }
+
+    let mut recovery = recovery_stmts(opts.scheme, &jvar, &level_vars, &dims);
+    let mut recovery_cost = per_iteration_cost(opts.scheme, &dims);
+    if opts.strength_reduce {
+        // Temp names are `{prefix}{n}` for arbitrary n: pick a prefix no
+        // existing symbol starts with, so no temp can collide.
+        let used = used_symbols(&nest);
+        let prefix = (0u32..)
+            .map(|i| {
+                if i == 0 {
+                    "rc_".to_string()
+                } else {
+                    format!("rc{i}_")
+                }
+            })
+            .find(|p| !used.iter().any(|u| u.starts_with(p.as_str())))
+            .expect("some prefix is always free");
+        let (optimized, report) = crate::strength::cse_recovery(&recovery, &prefix);
+        recovery = optimized;
+        recovery_cost = report.cost_after;
+    }
+    let mut body = recovery;
+    body.extend(inner_body);
+
+    let mut result = Loop {
+        var: jvar.clone(),
+        lower: Expr::lit(1),
+        upper: Expr::lit(total as i64),
+        step: Expr::lit(1),
+        kind: LoopKind::Doall,
+        body,
+    };
+
+    // Outer uncoalesced levels wrap the coalesced loop, unchanged.
+    for h in nest.loops[..start].iter().rev() {
+        result = Loop {
+            var: h.var.clone(),
+            lower: h.lower.clone(),
+            upper: h.upper.clone(),
+            step: h.step.clone(),
+            kind: h.kind,
+            body: vec![Stmt::Loop(result)],
+        };
+    }
+
+    let info = CoalesceInfo {
+        recovery_cost_per_iteration: recovery_cost,
+        dims,
+        total_iterations: total,
+        scheme: opts.scheme,
+        levels: (start, end),
+        original_depth: depth,
+        coalesced_var: jvar,
+    };
+    Ok(CoalesceResult {
+        transformed: result,
+        info,
+    })
+}
+
+fn check_band_legality(
+    nest: &Nest,
+    start: usize,
+    end: usize,
+    opts: &CoalesceOptions,
+) -> Result<()> {
+    let marked_doall = nest.loops[start..end].iter().all(|h| h.kind.is_doall());
+    if !marked_doall && !opts.check_legality {
+        let bad = nest.loops[start..end]
+            .iter()
+            .find(|h| !h.kind.is_doall())
+            .expect("some level is not doall");
+        return Err(Error::Unsupported(format!(
+            "level `{}` is not a doall and legality checking is disabled",
+            bad.var
+        )));
+    }
+    if opts.check_legality {
+        let deps = analyze_nest(nest)?;
+        for level in start..end {
+            if deps.carried_at(level) {
+                return Err(Error::Unsupported(format!(
+                    "dependence carried at level `{}` forbids coalescing",
+                    nest.loops[level].var
+                )));
+            }
+        }
+        scalar_privatization_ok(nest, start, end)?;
+    }
+    Ok(())
+}
+
+/// Pick a name that collides with nothing in the nest.
+fn fresh_var(requested: Option<Symbol>, nest: &Nest) -> Symbol {
+    let used = used_symbols(nest);
+    let base = requested.map(|s| s.as_str().to_string()).unwrap_or_else(|| "jc".to_string());
+    if !used.contains(base.as_str()) {
+        return Symbol::new(&base);
+    }
+    let mut n = 0usize;
+    loop {
+        let cand = format!("{base}_{n}");
+        if !used.contains(cand.as_str()) {
+            return Symbol::new(cand);
+        }
+        n += 1;
+    }
+}
+
+fn used_symbols(nest: &Nest) -> HashSet<String> {
+    let mut syms: Vec<Symbol> = Vec::new();
+    for h in &nest.loops {
+        syms.push(h.var.clone());
+        h.lower.variables(&mut syms);
+        h.upper.variables(&mut syms);
+        h.step.variables(&mut syms);
+    }
+    collect_stmt_symbols(&nest.body, &mut syms);
+    syms.into_iter().map(|s| s.as_str().to_string()).collect()
+}
+
+fn collect_stmt_symbols(stmts: &[Stmt], out: &mut Vec<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, value } => {
+                out.push(var.clone());
+                value.variables(out);
+            }
+            Stmt::AssignArray { target, value } => {
+                out.push(target.array.clone());
+                for ix in &target.indices {
+                    ix.variables(out);
+                }
+                value.variables(out);
+            }
+            Stmt::Loop(l) => {
+                out.push(l.var.clone());
+                l.lower.variables(out);
+                l.upper.variables(out);
+                l.step.variables(out);
+                collect_stmt_symbols(&l.body, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond.variables(out);
+                collect_stmt_symbols(then_body, out);
+                collect_stmt_symbols(else_body, out);
+            }
+        }
+    }
+}
+
+/// Verify that every scalar assigned anywhere in the (sub)nest body is
+/// written before it is read on every path — i.e. it can be privatized per
+/// iteration, so iterations do not communicate through it.
+pub(crate) fn scalar_privatization_ok(nest: &Nest, _start: usize, end: usize) -> Result<()> {
+    // The statements executed per coalesced iteration: the inner levels
+    // below `end` plus the innermost body. Loop variables of those inner
+    // levels are defined by their loops; variables of coalesced and outer
+    // levels are defined by recovery/outer loops.
+    let mut body = nest.body.clone();
+    for h in nest.loops[end..].iter().rev() {
+        body = vec![Stmt::Loop(Loop {
+            var: h.var.clone(),
+            lower: h.lower.clone(),
+            upper: h.upper.clone(),
+            step: h.step.clone(),
+            kind: h.kind,
+            body,
+        })];
+    }
+
+    let mut assigned = HashSet::new();
+    collect_assigned_scalars(&body, &mut assigned);
+
+    // Variables defined on entry to each iteration: every nest level var.
+    let mut defined: HashSet<Symbol> = nest.loops.iter().map(|h| h.var.clone()).collect();
+    walk_check(&body, &assigned, &mut defined)
+}
+
+fn collect_assigned_scalars(stmts: &[Stmt], out: &mut HashSet<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, .. } => {
+                out.insert(var.clone());
+            }
+            Stmt::AssignArray { .. } => {}
+            Stmt::Loop(l) => collect_assigned_scalars(&l.body, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned_scalars(then_body, out);
+                collect_assigned_scalars(else_body, out);
+            }
+        }
+    }
+}
+
+fn check_reads_expr(e: &Expr, assigned: &HashSet<Symbol>, defined: &HashSet<Symbol>) -> Result<()> {
+    let mut vars = Vec::new();
+    e.variables(&mut vars);
+    for v in vars {
+        if assigned.contains(&v) && !defined.contains(&v) {
+            return Err(Error::Unsupported(format!(
+                "scalar `{v}` may be read before it is written within an \
+                 iteration (cross-iteration scalar dependence, e.g. a \
+                 reduction); cannot privatize"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_reads_cond(
+    c: &Cond,
+    assigned: &HashSet<Symbol>,
+    defined: &HashSet<Symbol>,
+) -> Result<()> {
+    match c {
+        Cond::Cmp(_, a, b) => {
+            check_reads_expr(a, assigned, defined)?;
+            check_reads_expr(b, assigned, defined)
+        }
+        Cond::Not(x) => check_reads_cond(x, assigned, defined),
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            check_reads_cond(a, assigned, defined)?;
+            check_reads_cond(b, assigned, defined)
+        }
+    }
+}
+
+fn walk_check(
+    stmts: &[Stmt],
+    assigned: &HashSet<Symbol>,
+    defined: &mut HashSet<Symbol>,
+) -> Result<()> {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, value } => {
+                check_reads_expr(value, assigned, defined)?;
+                defined.insert(var.clone());
+            }
+            Stmt::AssignArray { target, value } => {
+                for ix in &target.indices {
+                    check_reads_expr(ix, assigned, defined)?;
+                }
+                check_reads_expr(value, assigned, defined)?;
+            }
+            Stmt::Loop(l) => {
+                check_reads_expr(&l.lower, assigned, defined)?;
+                check_reads_expr(&l.upper, assigned, defined)?;
+                check_reads_expr(&l.step, assigned, defined)?;
+                let mut inner = defined.clone();
+                inner.insert(l.var.clone());
+                walk_check(&l.body, assigned, &mut inner)?;
+                // The loop may run zero times: definitions inside it are
+                // not guaranteed afterwards, so `defined` is unchanged.
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                check_reads_cond(cond, assigned, defined)?;
+                let mut d_then = defined.clone();
+                walk_check(then_body, assigned, &mut d_then)?;
+                let mut d_else = defined.clone();
+                walk_check(else_body, assigned, &mut d_else)?;
+                // Defined afterwards = defined on both paths.
+                for v in d_then.intersection(&d_else) {
+                    defined.insert(v.clone());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::interp::{DoallOrder, Interp};
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn loop_of(p: &Program) -> (usize, Loop) {
+        p.body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| match s {
+                Stmt::Loop(l) => Some((i, l.clone())),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    /// Coalesce the (first) loop of a program and check the transformed
+    /// program produces an identical store under several doall orders.
+    fn check_coalesce(src: &str, opts: &CoalesceOptions) -> CoalesceInfo {
+        let p = parse_program(src).unwrap();
+        let (idx, l) = loop_of(&p);
+        let out = coalesce_loop(&l, opts).unwrap();
+        let mut p2 = p.clone();
+        p2.body[idx] = Stmt::Loop(out.transformed.clone());
+        p2.check().expect("transformed program must be well-formed");
+
+        let reference = Interp::new().run(&p).unwrap();
+        for order in [
+            DoallOrder::Forward,
+            DoallOrder::Reverse,
+            DoallOrder::Shuffled(7),
+            DoallOrder::Shuffled(991),
+        ] {
+            let got = Interp::new().with_order(order).run(&p2).unwrap();
+            assert_eq!(
+                reference, got,
+                "coalesced program diverged under {order:?} for:\n{src}"
+            );
+        }
+        out.info
+    }
+
+    #[test]
+    fn coalesce_2d_fill_both_schemes() {
+        let src = "
+            array A[6][4];
+            doall i = 1..6 {
+                doall j = 1..4 {
+                    A[i][j] = 10 * i + j;
+                }
+            }
+            ";
+        for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
+            let info = check_coalesce(
+                src,
+                &CoalesceOptions {
+                    scheme,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(info.dims, vec![6, 4]);
+            assert_eq!(info.total_iterations, 24);
+        }
+    }
+
+    #[test]
+    fn coalesce_3d_fill() {
+        let info = check_coalesce(
+            "
+            array A[3][4][5];
+            doall i = 1..3 {
+                doall j = 1..4 {
+                    doall k = 1..5 {
+                        A[i][j][k] = 100 * i + 10 * j + k;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+        assert_eq!(info.total_iterations, 60);
+        assert!(info.recovery_cost_per_iteration > 0);
+    }
+
+    #[test]
+    fn coalesce_partial_band_inner_two_of_three() {
+        let info = check_coalesce(
+            "
+            array A[3][4][5];
+            doall i = 1..3 {
+                doall j = 1..4 {
+                    doall k = 1..5 {
+                        A[i][j][k] = i + j * k;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions {
+                levels: Some((1, 3)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(info.dims, vec![4, 5]);
+        assert_eq!(info.levels, (1, 3));
+    }
+
+    #[test]
+    fn coalesce_partial_band_outer_two_of_three() {
+        // Inner level stays serial inside the coalesced loop.
+        let info = check_coalesce(
+            "
+            array A[3][4][5];
+            doall i = 1..3 {
+                doall j = 1..4 {
+                    for k = 1..5 {
+                        A[i][j][k] = i * j + k;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions {
+                levels: Some((0, 2)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(info.dims, vec![3, 4]);
+    }
+
+    #[test]
+    fn coalesce_normalizes_offsets_and_strides() {
+        check_coalesce(
+            "
+            array A[20][30];
+            doall i = 3..17 {
+                doall j = 2..30 step 3 {
+                    A[i][j] = i * j;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn coalesce_with_inner_serial_loop_below_band() {
+        // Matmul-shaped: coalesce (i, j); the k loop is a reduction over a
+        // privatizable scalar `acc`.
+        check_coalesce(
+            "
+            array A[4][3];
+            array B[3][5];
+            array C[4][5];
+            doall i = 1..4 {
+                doall j = 1..5 {
+                    acc = 0;
+                    for k = 1..3 {
+                        acc = acc + A[i][k] * B[k][j];
+                    }
+                    C[i][j] = acc;
+                }
+            }
+            ",
+            &CoalesceOptions {
+                levels: Some((0, 2)),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn coalesce_with_branches() {
+        check_coalesce(
+            "
+            array A[5][5];
+            doall i = 1..5 {
+                doall j = 1..5 {
+                    if i == j {
+                        A[i][j] = 1;
+                    } else {
+                        A[i][j] = i - j;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn serial_loops_proven_parallel_are_coalesced() {
+        // Not marked doall, but independent — the legality checker proves it.
+        check_coalesce(
+            "
+            array A[4][4];
+            for i = 1..4 {
+                for j = 1..4 {
+                    A[i][j] = A[i][j] + 1;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn serial_loops_rejected_without_checking() {
+        let p = parse_program(
+            "
+            array A[4][4];
+            for i = 1..4 {
+                for j = 1..4 {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(
+            &l,
+            &CoalesceOptions {
+                check_legality: false,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn carried_dependence_is_rejected() {
+        let p = parse_program(
+            "
+            array A[8][8];
+            for i = 2..8 {
+                for j = 1..8 {
+                    A[i][j] = A[i - 1][j] + 1;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
+        match err {
+            Error::Unsupported(m) => assert!(m.contains("carried"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_carried_dependence_allows_outer_band() {
+        // Dependence carried at level 1 (j): coalescing band (0, 1) — just
+        // the i loop alone — is legal; band (0, 2) is not.
+        let src = "
+            array A[8][8];
+            for i = 1..8 {
+                for j = 2..8 {
+                    A[i][j] = A[i][j - 1] + 1;
+                }
+            }
+            ";
+        let p = parse_program(src).unwrap();
+        let (_, l) = loop_of(&p);
+        assert!(coalesce_loop(
+            &l,
+            &CoalesceOptions {
+                levels: Some((0, 2)),
+                ..Default::default()
+            }
+        )
+        .is_err());
+        check_coalesce(
+            src,
+            &CoalesceOptions {
+                levels: Some((0, 1)),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn scalar_reduction_is_rejected() {
+        let p = parse_program(
+            "
+            array A[8];
+            s = 0;
+            doall i = 1..8 {
+                s = s + A[i];
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
+        match err {
+            Error::Unsupported(m) => assert!(m.contains("scalar"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn privatizable_temp_is_accepted() {
+        check_coalesce(
+            "
+            array A[6][6];
+            doall i = 1..6 {
+                doall j = 1..6 {
+                    t = i * j;
+                    A[i][j] = t + t;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn temp_defined_in_one_branch_only_is_rejected() {
+        // `t` is only written when i == j, then read unconditionally.
+        let p = parse_program(
+            "
+            array A[4][4];
+            doall i = 1..4 {
+                doall j = 1..4 {
+                    if i == j {
+                        t = 1;
+                    }
+                    A[i][j] = t;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        assert!(coalesce_loop(&l, &CoalesceOptions::default()).is_err());
+    }
+
+    #[test]
+    fn temp_defined_in_both_branches_is_accepted() {
+        check_coalesce(
+            "
+            array A[4][4];
+            doall i = 1..4 {
+                doall j = 1..4 {
+                    if i == j {
+                        t = 1;
+                    } else {
+                        t = 0;
+                    }
+                    A[i][j] = t;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn fresh_variable_avoids_collision() {
+        let p = parse_program(
+            "
+            array A[3][3];
+            doall i = 1..3 {
+                doall j = 1..3 {
+                    jc = i + j;
+                    A[i][j] = jc;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let out = coalesce_loop(&l, &CoalesceOptions::default()).unwrap();
+        assert_ne!(out.info.coalesced_var.as_str(), "jc");
+        // And the transformed program still computes the same thing.
+        check_coalesce(
+            "
+            array A[3][3];
+            doall i = 1..3 {
+                doall j = 1..3 {
+                    jc = i + j;
+                    A[i][j] = jc;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn single_level_coalesce_is_allowed() {
+        let info = check_coalesce(
+            "
+            array A[7];
+            doall i = 1..7 {
+                A[i] = i * i;
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+        assert_eq!(info.total_iterations, 7);
+    }
+
+    #[test]
+    fn invalid_band_is_rejected() {
+        let p = parse_program(
+            "
+            array A[4][4];
+            doall i = 1..4 {
+                doall j = 1..4 {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        for band in [(0usize, 0usize), (1, 1), (0, 3), (2, 1)] {
+            let err = coalesce_loop(
+                &l,
+                &CoalesceOptions {
+                    levels: Some(band),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, Error::Unsupported(_)), "band {band:?}");
+        }
+    }
+
+    #[test]
+    fn strength_reduced_coalescing_is_equivalent_and_cheaper() {
+        let src = "
+            array V[3][4][5][2];
+            doall a = 1..3 {
+                doall b = 1..4 {
+                    doall c = 1..5 {
+                        doall d = 1..2 {
+                            V[a][b][c][d] = a * 1000 + b * 100 + c * 10 + d;
+                        }
+                    }
+                }
+            }
+            ";
+        let plain = check_coalesce(src, &CoalesceOptions::default());
+        let reduced = check_coalesce(
+            src,
+            &CoalesceOptions {
+                strength_reduce: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            reduced.recovery_cost_per_iteration < plain.recovery_cost_per_iteration,
+            "CSE did not reduce cost: {} vs {}",
+            reduced.recovery_cost_per_iteration,
+            plain.recovery_cost_per_iteration
+        );
+    }
+
+    #[test]
+    fn strength_reduction_temps_avoid_collisions() {
+        // The body *reads* `rc_0` as a free outer variable — a temp named
+        // rc_0 would clobber it. The prefix chooser must step aside.
+        let src = "
+            array V[4][5][6];
+            rc_0 = 7;
+            doall a = 1..4 {
+                doall b = 1..5 {
+                    doall c = 1..6 {
+                        V[a][b][c] = rc_0 * c + a + b;
+                    }
+                }
+            }
+            ";
+        check_coalesce(
+            src,
+            &CoalesceOptions {
+                strength_reduce: true,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn info_reports_paper_cost_shape() {
+        // Deeper nests emit costlier recovery code.
+        let mk = |depth: usize| {
+            let dims_src = (0..depth)
+                .map(|k| format!("[{}]", k + 2))
+                .collect::<String>();
+            let mut src = format!("array A{dims_src};\n");
+            for k in 0..depth {
+                src.push_str(&format!("doall i{k} = 1..{} {{\n", k + 2));
+            }
+            let subs = (0..depth).map(|k| format!("[i{k}]")).collect::<String>();
+            src.push_str(&format!("A{subs} = 1;\n"));
+            for _ in 0..depth {
+                src.push('}');
+            }
+            src
+        };
+        let cost = |depth: usize| {
+            let p = parse_program(&mk(depth)).unwrap();
+            let (_, l) = loop_of(&p);
+            coalesce_loop(&l, &CoalesceOptions::default())
+                .unwrap()
+                .info
+                .recovery_cost_per_iteration
+        };
+        assert!(cost(2) < cost(3));
+        assert!(cost(3) < cost(4));
+    }
+}

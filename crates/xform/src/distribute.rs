@@ -1,0 +1,511 @@
+//! Loop distribution (fission): splitting one loop into several.
+//!
+//! Distribution is the classic *enabler* for coalescing: an imperfect
+//! nest like
+//!
+//! ```text
+//! doall i { A[i] = …;  doall j { B[i][j] = … } }
+//! ```
+//!
+//! distributes into a 1-deep loop over `A` and a *perfect* 2-deep nest
+//! over `B`, which can then be coalesced. Legality follows Kennedy's
+//! algorithm: build the statement-level dependence graph (edges run from
+//! dependence source to sink), collapse strongly connected components —
+//! statements on a dependence cycle must stay in one loop — and emit one
+//! loop per component in topological order, preserving the original
+//! statement order inside each component.
+
+use lc_ir::analysis::depend::analyze_nest;
+use lc_ir::analysis::nest::{LoopHeader, Nest};
+use lc_ir::stmt::{Loop, Stmt};
+use lc_ir::{Error, Result};
+
+/// Distribute the (outermost level of the) given loop into as many loops
+/// as dependences allow, in execution order. Returns the resulting loop
+/// list (length 1 means distribution found nothing to split).
+pub fn distribute(l: &Loop) -> Result<Vec<Loop>> {
+    let k = l.body.len();
+    if k <= 1 {
+        return Ok(vec![l.clone()]);
+    }
+
+    // Statement-level dependence graph at this loop level only.
+    let nest = Nest {
+        loops: vec![LoopHeader {
+            var: l.var.clone(),
+            lower: l.lower.clone(),
+            upper: l.upper.clone(),
+            step: l.step.clone(),
+            kind: l.kind,
+        }],
+        body: l.body.clone(),
+    };
+    let deps = analyze_nest(&nest)?;
+
+    let mut adj = vec![Vec::new(); k];
+    for d in &deps.deps {
+        if d.src_stmt != d.dst_stmt {
+            adj[d.src_stmt].push(d.dst_stmt);
+        }
+    }
+    // Scalar def-use chains also glue statements together: a statement
+    // reading a scalar assigned by an earlier statement must stay after
+    // it. Add textual edges for those.
+    add_scalar_edges(&l.body, &mut adj);
+
+    let mut components = tarjan_scc(&adj);
+    for comp in &mut components {
+        comp.sort_unstable();
+    }
+    // Order components topologically, breaking ties by textual position
+    // (smallest statement index first) so unconstrained statements keep
+    // their original order.
+    let ordered = topo_order_textual(components, &adj);
+    debug_assert!(topo_ok(&ordered, &adj));
+
+    let loops: Vec<Loop> = ordered
+        .into_iter()
+        .map(|comp| Loop {
+            var: l.var.clone(),
+            lower: l.lower.clone(),
+            upper: l.upper.clone(),
+            step: l.step.clone(),
+            kind: l.kind,
+            body: comp.iter().map(|&i| l.body[i].clone()).collect(),
+        })
+        .collect();
+    Ok(loops)
+}
+
+/// Distribute and replace: returns the statements that substitute the
+/// original loop statement.
+pub fn distribute_stmt(s: &Stmt) -> Result<Vec<Stmt>> {
+    match s {
+        Stmt::Loop(l) => Ok(distribute(l)?.into_iter().map(Stmt::Loop).collect()),
+        other => Err(Error::Unsupported(format!(
+            "can only distribute a loop statement, got {other:?}"
+        ))),
+    }
+}
+
+/// Kahn's algorithm over the SCC condensation with a textual-order
+/// priority: among ready components, emit the one containing the smallest
+/// statement index.
+fn topo_order_textual(components: Vec<Vec<usize>>, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n_stmts = adj.len();
+    let mut comp_of = vec![0usize; n_stmts];
+    for (c, comp) in components.iter().enumerate() {
+        for &s in comp {
+            comp_of[s] = c;
+        }
+    }
+    let nc = components.len();
+    let mut indegree = vec![0usize; nc];
+    let mut edges: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); nc];
+    for (u, vs) in adj.iter().enumerate() {
+        for &v in vs {
+            let (cu, cv) = (comp_of[u], comp_of[v]);
+            if cu != cv && edges[cu].insert(cv) {
+                indegree[cv] += 1;
+            }
+        }
+    }
+    let mut ready: std::collections::BTreeSet<(usize, usize)> = (0..nc)
+        .filter(|&c| indegree[c] == 0)
+        .map(|c| (components[c][0], c))
+        .collect();
+    let mut out = Vec::with_capacity(nc);
+    while let Some(&(key, c)) = ready.iter().next() {
+        ready.remove(&(key, c));
+        out.push(components[c].clone());
+        for &d in &edges[c] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.insert((components[d][0], d));
+            }
+        }
+    }
+    assert_eq!(out.len(), nc, "condensation must be acyclic");
+    out
+}
+
+fn topo_ok(ordered: &[Vec<usize>], adj: &[Vec<usize>]) -> bool {
+    let mut pos = vec![0usize; adj.len()];
+    for (c, comp) in ordered.iter().enumerate() {
+        for &s in comp {
+            pos[s] = c;
+        }
+    }
+    adj.iter()
+        .enumerate()
+        .all(|(u, vs)| vs.iter().all(|&v| pos[u] <= pos[v]))
+}
+
+/// Conservative scalar glue: a scalar assigned by one statement and read
+/// (or re-assigned) by another carries a *per-iteration* value, so
+/// splitting its definition from its uses would leave the second loop
+/// reading only the final iteration's value. Force such statements into
+/// one component with a cycle edge.
+fn add_scalar_edges(body: &[Stmt], adj: &mut [Vec<usize>]) {
+    use lc_ir::symbol::Symbol;
+    use std::collections::HashSet;
+
+    let mut assigns: Vec<HashSet<Symbol>> = vec![HashSet::new(); body.len()];
+    let mut reads: Vec<HashSet<Symbol>> = vec![HashSet::new(); body.len()];
+    for (i, s) in body.iter().enumerate() {
+        collect_scalar_uses(s, &mut assigns[i], &mut reads[i]);
+    }
+    for a in 0..body.len() {
+        for b in 0..body.len() {
+            if a == b {
+                continue;
+            }
+            if assigns[a].intersection(&reads[b]).next().is_some()
+                || assigns[a].intersection(&assigns[b]).next().is_some()
+            {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+    }
+}
+
+fn collect_scalar_uses(
+    s: &Stmt,
+    assigns: &mut std::collections::HashSet<lc_ir::symbol::Symbol>,
+    reads: &mut std::collections::HashSet<lc_ir::symbol::Symbol>,
+) {
+    let mut read_expr = |e: &lc_ir::expr::Expr| {
+        let mut vars = Vec::new();
+        e.variables(&mut vars);
+        reads.extend(vars);
+    };
+    match s {
+        Stmt::AssignScalar { var, value } => {
+            read_expr(value);
+            assigns.insert(var.clone());
+        }
+        Stmt::AssignArray { target, value } => {
+            for ix in &target.indices {
+                read_expr(ix);
+            }
+            read_expr(value);
+        }
+        Stmt::Loop(l) => {
+            read_expr(&l.lower);
+            read_expr(&l.upper);
+            read_expr(&l.step);
+            // The loop variable is local; remove it from reads afterwards.
+            for inner in &l.body {
+                collect_scalar_uses(inner, assigns, reads);
+            }
+            reads.remove(&l.var);
+            assigns.remove(&l.var);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let mut vars = Vec::new();
+            cond.variables(&mut vars);
+            reads.extend(vars);
+            for inner in then_body.iter().chain(else_body) {
+                collect_scalar_uses(inner, assigns, reads);
+            }
+        }
+    }
+}
+
+/// Tarjan's strongly-connected components; returns components in reverse
+/// topological order of the condensation.
+fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(st: &mut State<'_>, v: usize) {
+        st.index[v] = Some(st.next_index);
+        st.lowlink[v] = st.next_index;
+        st.next_index += 1;
+        st.stack.push(v);
+        st.on_stack[v] = true;
+        for &w in &st.adj[v].to_vec() {
+            match st.index[w] {
+                None => {
+                    strongconnect(st, w);
+                    st.lowlink[v] = st.lowlink[v].min(st.lowlink[w]);
+                }
+                Some(wi) if st.on_stack[w] => {
+                    st.lowlink[v] = st.lowlink[v].min(wi);
+                }
+                _ => {}
+            }
+        }
+        if st.lowlink[v] == st.index[v].unwrap() {
+            let mut comp = Vec::new();
+            loop {
+                let w = st.stack.pop().unwrap();
+                st.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            st.out.push(comp);
+        }
+    }
+    let n = adj.len();
+    let mut st = State {
+        adj,
+        index: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if st.index[v].is_none() {
+            strongconnect(&mut st, v);
+        }
+    }
+    st.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::interp::Interp;
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn loop_of(p: &Program) -> (usize, Loop) {
+        p.body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| match s {
+                Stmt::Loop(l) => Some((i, l.clone())),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    fn check_distribute(src: &str, expect_loops: usize) -> Vec<Loop> {
+        let p = parse_program(src).unwrap();
+        let (idx, l) = loop_of(&p);
+        let loops = distribute(&l).unwrap();
+        assert_eq!(loops.len(), expect_loops, "wrong split count for:\n{src}");
+
+        let mut p2 = p.clone();
+        let mut new_body: Vec<Stmt> = p.body[..idx].to_vec();
+        new_body.extend(loops.iter().cloned().map(Stmt::Loop));
+        new_body.extend(p.body[idx + 1..].to_vec());
+        p2.body = new_body;
+        let a = Interp::new().run(&p).unwrap();
+        let b = Interp::new().run(&p2).unwrap();
+        assert_eq!(a, b, "distribution changed semantics:\n{src}");
+        loops
+    }
+
+    #[test]
+    fn independent_statements_split_fully() {
+        check_distribute(
+            "
+            array A[8];
+            array B[8];
+            for i = 1..8 {
+                A[i] = i;
+                B[i] = i * 2;
+            }
+            ",
+            2,
+        );
+    }
+
+    #[test]
+    fn forward_dependence_splits_in_order() {
+        // B reads what A wrote in the SAME iteration: loop-independent
+        // dependence — split is legal, A-loop first.
+        let loops = check_distribute(
+            "
+            array A[8];
+            array B[8];
+            for i = 1..8 {
+                A[i] = i;
+                B[i] = A[i] + 1;
+            }
+            ",
+            2,
+        );
+        match &loops[0].body[0] {
+            Stmt::AssignArray { target, .. } => assert_eq!(target.array.as_str(), "A"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn recurrence_cycle_stays_together() {
+        // S0 feeds S1 in the same iteration, S1 feeds S0 in the next:
+        // a cross-statement cycle — must not split.
+        check_distribute(
+            "
+            array A[9];
+            array B[9];
+            for i = 2..8 {
+                A[i] = B[i - 1] + 1;
+                B[i] = A[i] * 2;
+            }
+            ",
+            1,
+        );
+    }
+
+    #[test]
+    fn backward_loop_independent_read_then_write_can_split() {
+        // S0 reads A[i+1] (old value), S1 writes A[i]. Anti dependence
+        // src=S0 → dst=S1 (forward edge): splitting puts all reads before
+        // all writes — still the old values. Legal, 2 loops.
+        check_distribute(
+            "
+            array A[9];
+            array B[9];
+            for i = 1..8 {
+                B[i] = A[i + 1];
+                A[i] = i * 10;
+            }
+            ",
+            2,
+        );
+    }
+
+    #[test]
+    fn write_then_later_read_of_earlier_element_keeps_order() {
+        // S0 writes A[i]; S1 reads A[i-1] — carried flow S0→S1. Edge is
+        // forward: distribution is legal (A-loop completes first, then B
+        // reads fully written A). Two loops, same result.
+        check_distribute(
+            "
+            array A[8];
+            array B[8];
+            for i = 2..8 {
+                A[i] = i;
+                B[i] = A[i - 1];
+            }
+            ",
+            2,
+        );
+    }
+
+    #[test]
+    fn backward_carried_dependence_fuses_into_cycle() {
+        // S0 reads A[i-1] which S1 wrote in a *previous* iteration:
+        // src = S1 (the write, earlier iteration) → dst = S0 (backward
+        // edge) plus textual/anti edges forward = cycle → no split.
+        check_distribute(
+            "
+            array A[9];
+            array B[9];
+            for i = 2..8 {
+                B[i] = A[i - 1] * 2;
+                A[i] = B[i] + 1;
+            }
+            ",
+            1,
+        );
+    }
+
+    #[test]
+    fn distribution_enables_perfect_nest_extraction() {
+        // The headline use: peel the prologue store off so the inner nest
+        // becomes perfect, then coalescible.
+        use crate::coalesce::{coalesce_loop, CoalesceOptions};
+        use lc_ir::analysis::nest::extract_nest;
+
+        let p = parse_program(
+            "
+            array D[6];
+            array M[6][7];
+            doall i = 1..6 {
+                D[i] = i * i;
+                doall j = 1..7 {
+                    M[i][j] = i + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        // Before distribution: imperfect, nest depth 1.
+        assert_eq!(extract_nest(&l).depth(), 1);
+        let loops = distribute(&l).unwrap();
+        assert_eq!(loops.len(), 2);
+        // The second piece is now a perfect 2-deep doall nest.
+        let nest = extract_nest(&loops[1]);
+        assert_eq!(nest.depth(), 2);
+        let coalesced = coalesce_loop(&loops[1], &CoalesceOptions::default()).unwrap();
+        assert_eq!(coalesced.info.total_iterations, 42);
+    }
+
+    #[test]
+    fn scalar_chain_glues_statements() {
+        // t is written by S0 and read by S1: they stay in one loop (the
+        // scalar would otherwise carry only the last iteration's value
+        // into the second loop).
+        check_distribute(
+            "
+            array A[8];
+            array B[8];
+            for i = 1..8 {
+                t = i * 3;
+                A[i] = t;
+                B[i] = t + 1;
+            }
+            ",
+            1,
+        );
+    }
+
+    #[test]
+    fn single_statement_loop_is_unchanged() {
+        let loops = check_distribute(
+            "
+            array A[4];
+            for i = 1..4 {
+                A[i] = i;
+            }
+            ",
+            1,
+        );
+        assert_eq!(loops[0].body.len(), 1);
+    }
+
+    #[test]
+    fn three_way_chain_splits_into_three() {
+        check_distribute(
+            "
+            array A[8];
+            array B[8];
+            array C[8];
+            for i = 1..8 {
+                A[i] = i;
+                B[i] = A[i] * 2;
+                C[i] = B[i] + A[i];
+            }
+            ",
+            3,
+        );
+    }
+
+    #[test]
+    fn distribute_stmt_rejects_non_loops() {
+        let s = Stmt::assign("x", lc_ir::Expr::lit(1));
+        assert!(distribute_stmt(&s).is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Loop fusion: merging two adjacent conformable loops into one.
+//!
+//! Fusion is distribution's inverse. After coalescing, fusing adjacent
+//! coalesced loops of equal length turns two fork-joins into one — the
+//! same overhead argument at the statement-list level. Fusing `L1; L2`
+//! (same normalized bounds, loop variables unified) is legal unless it
+//! creates a *fusion-preventing* dependence: some iteration `i` of L2
+//! would read/write data that iteration `i' > i` of L1 produces — i.e. a
+//! dependence from L2's part to L1's part carried backwards in the fused
+//! loop. In direction-vector terms: after fusing, any dependence whose
+//! source statement came from L2 and sink from L1 is illegal unless
+//! loop-independent with textual order preserved (impossible — L1's body
+//! precedes L2's in the fused loop), so we reject exactly the flipped
+//! carried dependences.
+
+use lc_ir::analysis::depend::{analyze_nest, Dir};
+use lc_ir::analysis::nest::{LoopHeader, Nest};
+use lc_ir::stmt::{Loop, Stmt};
+use lc_ir::{Error, Expr, Result};
+
+use crate::normalize::normalize_loop;
+
+/// Fuse two adjacent loops. Both are normalized first; their trip counts
+/// must match. The fused loop uses `a`'s variable and kind (the result is
+/// `doall` only if both inputs were).
+pub fn fuse(a: &Loop, b: &Loop) -> Result<Loop> {
+    let a = normalize_loop(a)?;
+    let b = normalize_loop(b)?;
+    let ta = a.const_trip_count().expect("normalized");
+    let tb = b.const_trip_count().expect("normalized");
+    if ta != tb {
+        return Err(Error::Unsupported(format!(
+            "cannot fuse loops with different trip counts ({ta} vs {tb})"
+        )));
+    }
+
+    // Rename b's loop variable to a's.
+    let b_body: Vec<Stmt> = b
+        .body
+        .iter()
+        .map(|s| s.substitute(&b.var, &Expr::Var(a.var.clone())))
+        .collect();
+
+    let mut fused_body = a.body.clone();
+    let a_len = fused_body.len();
+    fused_body.extend(b_body);
+
+    let kind = if a.kind.is_doall() && b.kind.is_doall() {
+        lc_ir::stmt::LoopKind::Doall
+    } else {
+        lc_ir::stmt::LoopKind::Serial
+    };
+    let fused = Loop {
+        var: a.var.clone(),
+        lower: Expr::lit(1),
+        upper: Expr::lit(ta as i64),
+        step: Expr::lit(1),
+        kind,
+        body: fused_body,
+    };
+
+    // Legality: no carried dependence whose source is a b-part statement
+    // and sink an a-part statement. (Loop-independent deps in that
+    // direction cannot exist; carried ones mean iteration i of the fused
+    // loop would consume what iteration i+d was supposed to produce
+    // first.)
+    let nest = Nest {
+        loops: vec![LoopHeader {
+            var: fused.var.clone(),
+            lower: fused.lower.clone(),
+            upper: fused.upper.clone(),
+            step: fused.step.clone(),
+            kind: fused.kind,
+        }],
+        body: fused.body.clone(),
+    };
+    let deps = analyze_nest(&nest)?;
+    for d in &deps.deps {
+        let carried = d.directions.iter().any(|v| v.contains(&Dir::Lt));
+        if carried && d.src_stmt >= a_len && d.dst_stmt < a_len {
+            return Err(Error::Unsupported(format!(
+                "fusion-preventing dependence on `{}`: the second loop \
+                 feeds an earlier iteration of the first",
+                d.array
+            )));
+        }
+    }
+
+    // The fused doall must still be a doall: if fusion created any
+    // carried dependence at all, demote to serial only if both inputs
+    // were serial-safe; otherwise reject to avoid silently changing
+    // parallel semantics.
+    if kind.is_doall() && (0..1).any(|lvl| deps.carried_at(lvl)) {
+        return Err(Error::Unsupported(
+            "fusing these doall loops would create a carried dependence; \
+             the result could no longer run in parallel"
+                .into(),
+        ));
+    }
+
+    Ok(fused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::interp::Interp;
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn loops_of(p: &Program) -> Vec<(usize, Loop)> {
+        p.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Stmt::Loop(l) => Some((i, l.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn check_fuse(src: &str) -> Loop {
+        let p = parse_program(src).unwrap();
+        let ls = loops_of(&p);
+        assert_eq!(ls.len(), 2, "test program must have two loops");
+        let fused = fuse(&ls[0].1, &ls[1].1).unwrap();
+
+        let mut p2 = p.clone();
+        p2.body = p
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != ls[1].0)
+            .map(|(i, s)| {
+                if i == ls[0].0 {
+                    Stmt::Loop(fused.clone())
+                } else {
+                    s.clone()
+                }
+            })
+            .collect();
+        let a = Interp::new().run(&p).unwrap();
+        let b = Interp::new().run(&p2).unwrap();
+        assert_eq!(a, b, "fusion changed semantics:\n{src}");
+        fused
+    }
+
+    #[test]
+    fn fuse_independent_loops() {
+        let fused = check_fuse(
+            "
+            array A[8];
+            array B[8];
+            doall i = 1..8 {
+                A[i] = i;
+            }
+            doall j = 1..8 {
+                B[j] = j * 2;
+            }
+            ",
+        );
+        assert!(fused.kind.is_doall());
+        assert_eq!(fused.body.len(), 2);
+        assert_eq!(fused.var.as_str(), "i");
+    }
+
+    #[test]
+    fn fuse_producer_consumer_same_iteration() {
+        // B[i] reads A[i]: loop-independent after fusion — legal, but the
+        // fused doall... A[i] write and read same iteration is fine.
+        let fused = check_fuse(
+            "
+            array A[8];
+            array B[8];
+            doall i = 1..8 {
+                A[i] = i * 3;
+            }
+            doall k = 1..8 {
+                B[k] = A[k] + 1;
+            }
+            ",
+        );
+        assert!(fused.kind.is_doall());
+    }
+
+    #[test]
+    fn fusion_preventing_dependence_rejected() {
+        // Second loop reads A[i+1]: after fusion, iteration i would read
+        // a value that iteration i+1 overwrites — before fusion it read
+        // the *new* value (first loop fully done). Must reject.
+        let p = parse_program(
+            "
+            array A[9];
+            array B[9];
+            for i = 1..8 {
+                A[i] = i * 3;
+            }
+            for k = 1..8 {
+                B[k] = A[k + 1];
+            }
+            ",
+        )
+        .unwrap();
+        let ls = loops_of(&p);
+        let err = fuse(&ls[0].1, &ls[1].1).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn backward_read_is_legal_for_serial_fusion() {
+        // Second loop reads A[k-1]: after fusion iteration t reads what
+        // iteration t-1 wrote — already written (serial order). Legal for
+        // serial loops. (Both loops span 2..9 so trip counts match.)
+        check_fuse(
+            "
+            array A[9];
+            array B[9];
+            for i = 2..9 {
+                A[i] = i * 3;
+            }
+            for k = 2..9 {
+                B[k] = A[k - 1];
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn doall_fusion_creating_carried_dep_rejected() {
+        // Same as above but doall: the fused loop would carry a flow
+        // dependence and stop being parallel — reject rather than demote.
+        let p = parse_program(
+            "
+            array A[8];
+            array B[8];
+            doall i = 1..8 {
+                A[i] = i * 3;
+            }
+            doall k = 2..8 {
+                B[k] = A[k - 1];
+            }
+            ",
+        )
+        .unwrap();
+        let ls = loops_of(&p);
+        // Trip counts differ (8 vs 7) — use matching bounds.
+        let p = parse_program(
+            "
+            array A[9];
+            array B[9];
+            doall i = 2..9 {
+                A[i] = i * 3;
+            }
+            doall k = 2..9 {
+                B[k] = A[k - 1];
+            }
+            ",
+        )
+        .unwrap();
+        let _ = ls;
+        let ls = loops_of(&p);
+        let err = fuse(&ls[0].1, &ls[1].1).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn mismatched_trip_counts_rejected() {
+        let p = parse_program(
+            "
+            array A[8];
+            array B[9];
+            for i = 1..8 {
+                A[i] = i;
+            }
+            for k = 1..9 {
+                B[k] = k;
+            }
+            ",
+        )
+        .unwrap();
+        let ls = loops_of(&p);
+        assert!(fuse(&ls[0].1, &ls[1].1).is_err());
+    }
+
+    #[test]
+    fn fusion_normalizes_offset_bounds() {
+        // 3..10 and 11..18 both have 8 iterations; fusion aligns them to
+        // 1..8 and rewrites both bodies.
+        check_fuse(
+            "
+            array A[10];
+            array B[20];
+            for i = 3..10 {
+                A[i] = i;
+            }
+            for k = 11..18 {
+                B[k] = k;
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn fused_and_coalesced_composes() {
+        use crate::coalesce::{coalesce_loop, CoalesceOptions};
+        // Fuse two 2-deep doall nests then coalesce the result... fusion
+        // at the outer level keeps two inner loops in the body, which is
+        // an imperfect nest — coalesce only the outer level.
+        let p = parse_program(
+            "
+            array A[4][5];
+            array B[4][6];
+            doall i = 1..4 {
+                doall j = 1..5 {
+                    A[i][j] = i + j;
+                }
+            }
+            doall k = 1..4 {
+                doall j = 1..6 {
+                    B[k][j] = k * j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let ls = loops_of(&p);
+        let fused = fuse(&ls[0].1, &ls[1].1).unwrap();
+        assert!(fused.kind.is_doall());
+        let out = coalesce_loop(&fused, &CoalesceOptions::default()).unwrap();
+        // Only the (shared) outer level is coalescible: total = 4.
+        assert_eq!(out.info.total_iterations, 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Loop normalization: rewrite `lo..hi step s` into `1..=N` with unit step.
+//!
+//! The recovery formulas assume every coalesced level runs `1 ..= N_k`
+//! with step 1; this pass establishes that form, substituting
+//! `i := lo + (i' − 1)·s` into the body. Bounds must be compile-time
+//! constants (the paper's nests are rectangular with known bounds; symbolic
+//! bounds would need runtime trip-count computation, which the simulator
+//! models but the IR transformation does not emit).
+
+use lc_ir::analysis::nest::{LoopHeader, Nest};
+use lc_ir::expr::Expr;
+use lc_ir::stmt::{Loop, Stmt};
+use lc_ir::{Error, Result};
+
+/// Normalize a single loop. Returns the rewritten loop; already-normalized
+/// loops are returned unchanged (cheaply, but not by reference).
+pub fn normalize_loop(l: &Loop) -> Result<Loop> {
+    if l.is_normalized() {
+        return Ok(l.clone());
+    }
+    let lo = l
+        .lower
+        .as_const()
+        .ok_or_else(|| Error::Unsupported(format!("loop `{}` has symbolic lower bound", l.var)))?;
+    let step = l
+        .step
+        .as_const()
+        .ok_or_else(|| Error::Unsupported(format!("loop `{}` has symbolic step", l.var)))?;
+    if step == 0 {
+        return Err(Error::ZeroStep(l.var.clone()));
+    }
+    let trip = l.const_trip_count().ok_or_else(|| {
+        Error::Unsupported(format!("loop `{}` has symbolic upper bound", l.var))
+    })?;
+
+    // i = lo + (i' - 1) * step, substituted everywhere i occurred.
+    let replacement = (Expr::lit(lo) + (Expr::var(l.var.as_str()) - Expr::lit(1)) * Expr::lit(step))
+        .fold();
+    let body: Vec<Stmt> = l
+        .body
+        .iter()
+        .map(|s| s.substitute(&l.var, &replacement))
+        .collect();
+    Ok(Loop {
+        var: l.var.clone(),
+        lower: Expr::lit(1),
+        upper: Expr::lit(trip as i64),
+        step: Expr::lit(1),
+        kind: l.kind,
+        body,
+    })
+}
+
+/// Normalize every level of a perfect nest, outermost first.
+///
+/// Substitution happens on the nested [`Loop`] form so inner bounds that
+/// mention outer indices are rewritten too, then the nest is re-extracted.
+pub fn normalize_nest(nest: &Nest) -> Result<Nest> {
+    let mut current = nest.to_loop();
+    current = normalize_levels(&current, nest.depth())?;
+    Ok(lc_ir::analysis::nest::extract_nest(&current))
+}
+
+fn normalize_levels(l: &Loop, remaining: usize) -> Result<Loop> {
+    let mut out = normalize_loop(l)?;
+    if remaining > 1 {
+        if let [Stmt::Loop(inner)] = out.body.as_slice() {
+            let inner = normalize_levels(inner, remaining - 1)?;
+            out.body = vec![Stmt::Loop(inner)];
+        }
+    }
+    Ok(out)
+}
+
+/// Check that every header of a nest is normalized; error otherwise.
+pub fn require_normalized(headers: &[LoopHeader]) -> Result<()> {
+    for h in headers {
+        if !h.is_normalized() {
+            return Err(Error::Unsupported(format!(
+                "loop `{}` is not normalized (run normalize_nest first)",
+                h.var
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::analysis::nest::extract_nest;
+    use lc_ir::interp::Interp;
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn loop_of(p: &Program) -> Loop {
+        p.body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Loop(l) => Some(l.clone()),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    fn check_equivalent(src: &str) {
+        let p = parse_program(src).unwrap();
+        let orig = loop_of(&p);
+        let norm = normalize_loop(&orig).unwrap();
+        assert!(norm.is_normalized());
+
+        let mut p_norm = p.clone();
+        for s in &mut p_norm.body {
+            if matches!(s, Stmt::Loop(_)) {
+                *s = Stmt::Loop(norm.clone());
+                break;
+            }
+        }
+        let a = Interp::new().run(&p).unwrap();
+        let b = Interp::new().run(&p_norm).unwrap();
+        assert_eq!(a, b, "normalization changed semantics for:\n{src}");
+    }
+
+    #[test]
+    fn normalize_offset_bounds() {
+        check_equivalent(
+            "
+            array A[20];
+            for i = 5..15 {
+                A[i] = i * 2;
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn normalize_strided_loop() {
+        check_equivalent(
+            "
+            array A[30];
+            for i = 3..27 step 4 {
+                A[i] = i;
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn normalize_negative_step() {
+        check_equivalent(
+            "
+            array A[10];
+            for i = 9..2 step -3 {
+                A[i] = i + 1;
+            }
+            ",
+        );
+    }
+
+    #[test]
+    fn normalize_preserves_kind() {
+        let p = parse_program(
+            "
+            array A[10];
+            doall i = 2..9 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let norm = normalize_loop(&loop_of(&p)).unwrap();
+        assert!(norm.kind.is_doall());
+        assert_eq!(norm.const_trip_count(), Some(8));
+    }
+
+    #[test]
+    fn already_normalized_is_unchanged() {
+        let p = parse_program(
+            "
+            array A[4];
+            doall i = 1..4 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let orig = loop_of(&p);
+        assert_eq!(normalize_loop(&orig).unwrap(), orig);
+    }
+
+    #[test]
+    fn normalize_nest_rewrites_inner_bound_uses_of_outer_var() {
+        // The inner bound does not depend on i here (rectangular), but the
+        // inner *body* uses i — substitution must reach it.
+        let p = parse_program(
+            "
+            array A[20][6];
+            for i = 11..20 {
+                for j = 1..6 {
+                    A[i][j] = i * j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let nest = extract_nest(&loop_of(&p));
+        let norm = normalize_nest(&nest).unwrap();
+        assert!(norm.is_normalized());
+        assert_eq!(norm.trip_counts(), Some(vec![10, 6]));
+
+        let mut p2 = p.clone();
+        p2.body[0] = Stmt::Loop(norm.to_loop());
+        let a = Interp::new().run(&p).unwrap();
+        let b = Interp::new().run(&p2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symbolic_bound_is_unsupported() {
+        let p = parse_program(
+            "
+            array A[10];
+            n = 10;
+            for i = 1..n {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let err = normalize_loop(&loop_of(&p)).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn require_normalized_reports_offender() {
+        let p = parse_program(
+            "
+            array A[10][10];
+            doall i = 1..10 {
+                doall j = 2..10 {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let nest = extract_nest(&loop_of(&p));
+        let err = require_normalized(&nest.loops).unwrap_err();
+        match err {
+            Error::Unsupported(m) => assert!(m.contains('j')),
+            other => panic!("{other:?}"),
+        }
+    }
+}

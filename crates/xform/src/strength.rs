@@ -1,0 +1,304 @@
+//! Strength reduction of index-recovery code: common-subexpression
+//! extraction over the emitted division terms.
+//!
+//! The paper observes that adjacent recovery formulas share their ceiling
+//! terms — `i_k` needs `⌈j/P_k⌉` and `⌈j/P_{k+1}⌉`, and `i_{k+1}` needs
+//! `⌈j/P_{k+1}⌉` again. Hoisting each repeated division into a temporary
+//! roughly halves the per-iteration division count for deep nests. This
+//! pass performs that extraction generically: any division-bearing
+//! subexpression (`/`, `%`, `ceildiv`) occurring at least twice across the
+//! statements is hoisted, most profitable first.
+
+use std::collections::HashMap;
+
+use lc_ir::expr::{BinOp, Expr};
+use lc_ir::stmt::Stmt;
+use lc_ir::symbol::Symbol;
+
+/// What a [`cse_recovery`] run achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CseReport {
+    /// Number of temporaries introduced.
+    pub hoisted: usize,
+    /// Total abstract op cost of the statements before.
+    pub cost_before: u64,
+    /// Total abstract op cost after (including the temporaries).
+    pub cost_after: u64,
+}
+
+/// Hoist repeated division subexpressions out of a straight-line block of
+/// scalar assignments (the shape [`crate::recovery::recovery_stmts`]
+/// emits). Returns the rewritten statements — temporaries first — and a
+/// savings report. Statements other than scalar assignments are passed
+/// through untouched (their expressions still participate in counting).
+pub fn cse_recovery(stmts: &[Stmt], temp_prefix: &str) -> (Vec<Stmt>, CseReport) {
+    let cost = |ss: &[Stmt]| -> u64 {
+        ss.iter()
+            .map(|s| match s {
+                Stmt::AssignScalar { value, .. } => value.op_cost() + 1,
+                Stmt::AssignArray { target, value } => {
+                    target.indices.iter().map(Expr::op_cost).sum::<u64>() + value.op_cost() + 1
+                }
+                _ => 0,
+            })
+            .sum()
+    };
+    let cost_before = cost(stmts);
+
+    let mut temps: Vec<Stmt> = Vec::new();
+    let mut work: Vec<Stmt> = stmts.to_vec();
+    let mut hoisted = 0usize;
+
+    loop {
+        // Count division-bearing subexpressions across all current values
+        // (including already-hoisted temps, enabling nested sharing).
+        let mut counts: HashMap<Expr, usize> = HashMap::new();
+        let mut scan = |e: &Expr| collect_divisions(e, &mut counts);
+        for s in temps.iter().chain(work.iter()) {
+            match s {
+                Stmt::AssignScalar { value, .. } => scan(value),
+                Stmt::AssignArray { target, value } => {
+                    for ix in &target.indices {
+                        scan(ix);
+                    }
+                    scan(value);
+                }
+                _ => {}
+            }
+        }
+        // Most profitable candidate: highest (count-1) * cost; ties broken
+        // toward smaller expressions so inner divisions hoist first.
+        let best = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= 2)
+            .max_by_key(|(e, c)| ((*c as u64 - 1) * e.op_cost(), std::cmp::Reverse(e.op_cost())));
+        let Some((pat, _)) = best else { break };
+
+        let temp = Symbol::new(format!("{temp_prefix}{hoisted}"));
+        let rep = Expr::Var(temp.clone());
+        for s in temps.iter_mut().chain(work.iter_mut()) {
+            rewrite_stmt(s, &pat, &rep);
+        }
+        temps.push(Stmt::AssignScalar {
+            var: temp,
+            value: pat,
+        });
+        hoisted += 1;
+    }
+
+    // Temporaries must precede their uses; they were appended in hoist
+    // order, but a later temp can be *used by* an earlier one (we rewrote
+    // earlier temps too). Order by dependency: a temp that mentions another
+    // temp must come after it. Hoisting order guarantees acyclicity;
+    // repeatedly emit temps whose operands are all available.
+    let ordered = order_temps(temps);
+
+    let mut out = ordered;
+    out.extend(work);
+    let report = CseReport {
+        hoisted,
+        cost_before,
+        cost_after: cost(&out),
+    };
+    (out, report)
+}
+
+fn order_temps(temps: Vec<Stmt>) -> Vec<Stmt> {
+    let names: Vec<Symbol> = temps
+        .iter()
+        .map(|s| match s {
+            Stmt::AssignScalar { var, .. } => var.clone(),
+            _ => unreachable!("temps are scalar assigns"),
+        })
+        .collect();
+    let mut emitted = vec![false; temps.len()];
+    let mut out = Vec::with_capacity(temps.len());
+    while out.len() < temps.len() {
+        let mut progressed = false;
+        for (i, t) in temps.iter().enumerate() {
+            if emitted[i] {
+                continue;
+            }
+            let Stmt::AssignScalar { value, .. } = t else {
+                unreachable!()
+            };
+            let mut vars = Vec::new();
+            value.variables(&mut vars);
+            let ready = vars.iter().all(|v| {
+                names
+                    .iter()
+                    .position(|n| n == v)
+                    .map(|j| emitted[j])
+                    .unwrap_or(true)
+            });
+            if ready {
+                out.push(t.clone());
+                emitted[i] = true;
+                progressed = true;
+            }
+        }
+        assert!(progressed, "cyclic temp dependencies cannot occur");
+    }
+    out
+}
+
+fn collect_divisions(e: &Expr, counts: &mut HashMap<Expr, usize>) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Read(r) => {
+            for ix in &r.indices {
+                collect_divisions(ix, counts);
+            }
+        }
+        Expr::Unary(_, a) => collect_divisions(a, counts),
+        Expr::Binary(op, a, b) => {
+            if matches!(op, BinOp::Div | BinOp::Mod | BinOp::CeilDiv) {
+                *counts.entry(e.clone()).or_insert(0) += 1;
+            }
+            collect_divisions(a, counts);
+            collect_divisions(b, counts);
+        }
+    }
+}
+
+fn rewrite_stmt(s: &mut Stmt, pat: &Expr, rep: &Expr) {
+    match s {
+        Stmt::AssignScalar { value, .. } => *value = replace(value, pat, rep),
+        Stmt::AssignArray { target, value } => {
+            for ix in &mut target.indices {
+                *ix = replace(ix, pat, rep);
+            }
+            *value = replace(value, pat, rep);
+        }
+        _ => {}
+    }
+}
+
+/// Replace every occurrence of the subtree `pat` in `e` with `rep`.
+fn replace(e: &Expr, pat: &Expr, rep: &Expr) -> Expr {
+    if e == pat {
+        return rep.clone();
+    }
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Read(r) => Expr::Read(lc_ir::expr::ArrayRef {
+            array: r.array.clone(),
+            indices: r.indices.iter().map(|ix| replace(ix, pat, rep)).collect(),
+        }),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(replace(a, pat, rep))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(replace(a, pat, rep)),
+            Box::new(replace(b, pat, rep)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::{recovery_stmts, RecoveryScheme};
+    use lc_ir::interp::Interp;
+    use lc_ir::program::Program;
+    use lc_ir::stmt::Loop;
+
+    fn recovery_block(scheme: RecoveryScheme, dims: &[u64]) -> Vec<Stmt> {
+        let j = Symbol::new("j");
+        let vars: Vec<Symbol> = (0..dims.len())
+            .map(|k| Symbol::new(format!("i{k}")))
+            .collect();
+        recovery_stmts(scheme, &j, &vars, dims)
+    }
+
+    #[test]
+    fn cse_reduces_ceiling_recovery_cost_for_deep_nests() {
+        let dims = [4u64, 5, 6, 7];
+        let block = recovery_block(RecoveryScheme::Ceiling, &dims);
+        let (opt, report) = cse_recovery(&block, "t");
+        assert!(report.hoisted >= 1, "{report:?}");
+        assert!(
+            report.cost_after < report.cost_before,
+            "no savings: {report:?}"
+        );
+        assert!(opt.len() > block.len());
+    }
+
+    #[test]
+    fn cse_preserves_semantics() {
+        for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
+            let dims = [3u64, 4, 5];
+            let block = recovery_block(scheme, &dims);
+            let (opt, _) = cse_recovery(&block, "t");
+
+            // Evaluate both blocks for every j and compare the recovered
+            // indices via the interpreter.
+            let n: u64 = dims.iter().product();
+            let finish = |body: Vec<Stmt>| {
+                let mut b = body;
+                b.push(Stmt::store(
+                    "OUT",
+                    vec![Expr::var("j")],
+                    (Expr::var("i0") * Expr::lit(100) + Expr::var("i1") * Expr::lit(10))
+                        + Expr::var("i2"),
+                ));
+                Program::new()
+                    .with_array("OUT", vec![n as usize])
+                    .with_stmt(Stmt::Loop(Loop::doall("j", n as i64, b)))
+            };
+            let a = Interp::new().run(&finish(block.clone())).unwrap();
+            let b = Interp::new().run(&finish(opt.clone())).unwrap();
+            assert_eq!(a, b, "CSE changed results for {scheme:?}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_means_no_hoisting() {
+        let stmts = vec![Stmt::assign(
+            "x",
+            Expr::var("a").floor_div(Expr::lit(3)),
+        )];
+        let (out, report) = cse_recovery(&stmts, "t");
+        assert_eq!(report.hoisted, 0);
+        assert_eq!(out, stmts);
+        assert_eq!(report.cost_before, report.cost_after);
+    }
+
+    #[test]
+    fn shared_division_is_hoisted_once() {
+        // x = a/3 + a/3  → t0 = a/3; x = t0 + t0
+        let d = Expr::var("a").floor_div(Expr::lit(3));
+        let stmts = vec![Stmt::assign("x", d.clone() + d)];
+        let (out, report) = cse_recovery(&stmts, "t");
+        assert_eq!(report.hoisted, 1);
+        assert_eq!(out.len(), 2);
+        match &out[0] {
+            Stmt::AssignScalar { var, .. } => assert_eq!(var.as_str(), "t0"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporaries_precede_uses_and_respect_dependencies() {
+        // Nested sharing: (a/3)/5 appears twice and contains a/3 which
+        // appears (after hoisting) inside the temp — ordering must put the
+        // inner division first.
+        let inner = Expr::var("a").floor_div(Expr::lit(3));
+        let outer = inner.clone().floor_div(Expr::lit(5));
+        let stmts = vec![
+            Stmt::assign("x", outer.clone() + inner.clone()),
+            Stmt::assign("y", outer + inner),
+        ];
+        let (out, report) = cse_recovery(&stmts, "t");
+        assert!(report.hoisted >= 2, "{report:?}");
+        // Execute to prove ordering correctness.
+        let mut body = vec![Stmt::assign("a", Expr::lit(47))];
+        body.extend(out);
+        body.push(Stmt::store("OUT", vec![Expr::lit(1)], Expr::var("x")));
+        body.push(Stmt::store("OUT", vec![Expr::lit(2)], Expr::var("y")));
+        let prog = Program::new().with_array("OUT", vec![2]).with_stmt_all(body);
+        let store = Interp::new().run(&prog).unwrap();
+        let expect = (47 / 3) / 5 + 47 / 3;
+        assert_eq!(store.get("OUT", &[1]).unwrap(), expect);
+        assert_eq!(store.get("OUT", &[2]).unwrap(), expect);
+    }
+}

@@ -1,0 +1,289 @@
+//! Strip-mining (blocking/chunking) of a single loop.
+//!
+//! Strip-mining splits `doall i = 1..N` into an outer loop over blocks and
+//! an inner loop over the `B` iterations of each block:
+//!
+//! ```text
+//! doall ib = 1 .. ceildiv(N, B) {
+//!     for i = (ib - 1) * B + 1 .. min(N, ib * B) { BODY }
+//! }
+//! ```
+//!
+//! Combined with coalescing this reproduces the paper's chunked dispatch:
+//! coalesce first, then strip-mine the coalesced loop so each dispatch
+//! (fetch&add) hands a processor `B` consecutive iterations — amortizing
+//! dispatch cost at the price of load-balance granularity. (`lc-sched`
+//! models the same trade-off analytically; this pass realizes it in IR.)
+
+use lc_ir::arith::ceil_div_unchecked;
+use lc_ir::expr::Expr;
+use lc_ir::stmt::{Loop, LoopKind, Stmt};
+use lc_ir::symbol::Symbol;
+use lc_ir::{Error, Result};
+
+use crate::normalize::normalize_loop;
+
+/// Strip-mine `l` into blocks of `block` iterations. The outer block loop
+/// keeps `l`'s kind; the inner intra-block loop is serial (each worker
+/// executes its block in order, as the paper's chunked self-scheduling
+/// does). The loop is normalized first if needed.
+pub fn strip_mine(l: &Loop, block: u64) -> Result<Loop> {
+    if block == 0 {
+        return Err(Error::Unsupported("block size must be positive".into()));
+    }
+    let l = normalize_loop(l)?;
+    let n = l.const_trip_count().expect("normalized loop has const trip");
+    let blocks = if n == 0 {
+        0
+    } else {
+        ceil_div_unchecked(n as i64, block as i64) as u64
+    };
+
+    let blk_var = fresh_block_var(&l);
+    let ib = Expr::Var(blk_var.clone());
+
+    // i runs (ib-1)*B + 1 ..= min(N, ib*B)
+    let lower = ((ib.clone() - Expr::lit(1)) * Expr::lit(block as i64) + Expr::lit(1)).fold();
+    let upper = Expr::lit(n as i64)
+        .min((ib * Expr::lit(block as i64)).fold())
+        .fold();
+
+    let inner = Loop {
+        var: l.var.clone(),
+        lower,
+        upper,
+        step: Expr::lit(1),
+        kind: LoopKind::Serial,
+        body: l.body.clone(),
+    };
+    Ok(Loop {
+        var: blk_var,
+        lower: Expr::lit(1),
+        upper: Expr::lit(blocks as i64),
+        step: Expr::lit(1),
+        kind: l.kind,
+        body: vec![Stmt::Loop(inner)],
+    })
+}
+
+fn fresh_block_var(l: &Loop) -> Symbol {
+    let mut used: Vec<Symbol> = vec![l.var.clone()];
+    for s in &l.body {
+        collect(s, &mut used);
+    }
+    let base = format!("{}_blk", l.var);
+    if !used.iter().any(|s| s.as_str() == base) {
+        return Symbol::new(base);
+    }
+    let mut n = 0;
+    loop {
+        let cand = format!("{base}_{n}");
+        if !used.iter().any(|s| s.as_str() == cand) {
+            return Symbol::new(cand);
+        }
+        n += 1;
+    }
+}
+
+fn collect(s: &Stmt, out: &mut Vec<Symbol>) {
+    match s {
+        Stmt::AssignScalar { var, value } => {
+            out.push(var.clone());
+            value.variables(out);
+        }
+        Stmt::AssignArray { target, value } => {
+            for ix in &target.indices {
+                ix.variables(out);
+            }
+            value.variables(out);
+        }
+        Stmt::Loop(l) => {
+            out.push(l.var.clone());
+            l.lower.variables(out);
+            l.upper.variables(out);
+            l.step.variables(out);
+            for s in &l.body {
+                collect(s, out);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            cond.variables(out);
+            for s in then_body.iter().chain(else_body) {
+                collect(s, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::interp::{DoallOrder, Interp};
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn loop_of(p: &Program) -> (usize, Loop) {
+        p.body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| match s {
+                Stmt::Loop(l) => Some((i, l.clone())),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    fn check_strip(src: &str, block: u64, expect_blocks: u64) {
+        let p = parse_program(src).unwrap();
+        let (idx, l) = loop_of(&p);
+        let mined = strip_mine(&l, block).unwrap();
+        assert_eq!(mined.const_trip_count(), Some(expect_blocks));
+        let mut p2 = p.clone();
+        p2.body[idx] = Stmt::Loop(mined);
+        let a = Interp::new().run(&p).unwrap();
+        for order in [DoallOrder::Forward, DoallOrder::Shuffled(3)] {
+            let b = Interp::new().with_order(order).run(&p2).unwrap();
+            assert_eq!(a, b, "strip-mining changed semantics:\n{src}");
+        }
+    }
+
+    #[test]
+    fn exact_division() {
+        check_strip(
+            "
+            array A[12];
+            doall i = 1..12 {
+                A[i] = i * 3;
+            }
+            ",
+            4,
+            3,
+        );
+    }
+
+    #[test]
+    fn ragged_final_block() {
+        check_strip(
+            "
+            array A[10];
+            doall i = 1..10 {
+                A[i] = i;
+            }
+            ",
+            4,
+            3,
+        );
+    }
+
+    #[test]
+    fn block_of_one() {
+        check_strip(
+            "
+            array A[5];
+            doall i = 1..5 {
+                A[i] = i + 1;
+            }
+            ",
+            1,
+            5,
+        );
+    }
+
+    #[test]
+    fn block_larger_than_trip() {
+        check_strip(
+            "
+            array A[3];
+            doall i = 1..3 {
+                A[i] = 7 - i;
+            }
+            ",
+            100,
+            1,
+        );
+    }
+
+    #[test]
+    fn normalizes_first() {
+        check_strip(
+            "
+            array A[20];
+            doall i = 5..20 step 3 {
+                A[i] = i;
+            }
+            ",
+            2,
+            3, // 6 iterations -> 3 blocks of 2
+        );
+    }
+
+    #[test]
+    fn zero_block_rejected() {
+        let p = parse_program(
+            "
+            array A[3];
+            doall i = 1..3 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        assert!(strip_mine(&l, 0).is_err());
+    }
+
+    #[test]
+    fn outer_keeps_kind_inner_is_serial() {
+        let p = parse_program(
+            "
+            array A[8];
+            doall i = 1..8 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let mined = strip_mine(&l, 3).unwrap();
+        assert!(mined.kind.is_doall());
+        match &mined.body[0] {
+            Stmt::Loop(inner) => {
+                assert_eq!(inner.kind, LoopKind::Serial);
+                assert_eq!(inner.var.as_str(), "i");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn composes_with_coalescing() {
+        use crate::coalesce::{coalesce_loop, CoalesceOptions};
+        let p = parse_program(
+            "
+            array A[6][5];
+            doall i = 1..6 {
+                doall j = 1..5 {
+                    A[i][j] = i * j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (idx, l) = loop_of(&p);
+        let coalesced = coalesce_loop(&l, &CoalesceOptions::default()).unwrap();
+        let mined = strip_mine(&coalesced.transformed, 7).unwrap();
+        assert_eq!(mined.const_trip_count(), Some(5)); // ceil(30/7)
+        let mut p2 = p.clone();
+        p2.body[idx] = Stmt::Loop(mined);
+        let a = Interp::new().run(&p).unwrap();
+        let b = Interp::new()
+            .with_order(DoallOrder::Shuffled(11))
+            .run(&p2)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

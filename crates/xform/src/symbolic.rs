@@ -1,0 +1,560 @@
+//! Coalescing nests whose trip counts are *runtime* values.
+//!
+//! The paper's `N_1 … N_m` are symbolic — loop bounds known only at run
+//! time. [`crate::coalesce`] requires compile-time constants so it can
+//! report dims to the scheduling layer; this module handles the general
+//! case by emitting the stride products as *scalar computations* ahead of
+//! the coalesced loop:
+//!
+//! ```text
+//! doall i = 1..n { doall j = 1..m { BODY } }
+//! ```
+//! becomes
+//! ```text
+//! lcs_1 = m;            // stride of level 0 = Π inner trip counts
+//! lcs_total = n * m;
+//! doall jc = 1..lcs_total {
+//!     i = ceildiv(jc, lcs_1);
+//!     j = jc - lcs_1 * (ceildiv(jc, lcs_1) - 1);
+//!     BODY
+//! }
+//! ```
+//!
+//! Preconditions: every coalesced level is already in the form
+//! `1..=U step 1` where `U` is any loop-invariant expression (run
+//! [`crate::normalize`] first for constant bounds; symbolic bounds with
+//! offsets/steps are out of scope, as in the paper). Legality checking
+//! uses the same dependence machinery (symbolic bounds are handled
+//! conservatively).
+
+use lc_ir::analysis::nest::extract_nest;
+use lc_ir::expr::Expr;
+use lc_ir::stmt::{Loop, LoopKind, Stmt};
+use lc_ir::symbol::Symbol;
+use lc_ir::{Error, Result};
+
+use crate::coalesce::CoalesceOptions;
+use crate::recovery::RecoveryScheme;
+
+/// The statements produced by a symbolic coalescing: stride computations
+/// followed by the rewritten loop. Splice `stmts()` in place of the
+/// original loop statement.
+#[derive(Debug, Clone)]
+pub struct SymbolicCoalesce {
+    /// Scalar assignments computing the stride products (must precede the
+    /// loop).
+    pub preamble: Vec<Stmt>,
+    /// The coalesced loop.
+    pub transformed: Loop,
+    /// The coalesced loop's index variable.
+    pub coalesced_var: Symbol,
+}
+
+impl SymbolicCoalesce {
+    /// Preamble + loop as a single statement list.
+    pub fn stmts(&self) -> Vec<Stmt> {
+        let mut out = self.preamble.clone();
+        out.push(Stmt::Loop(self.transformed.clone()));
+        out
+    }
+}
+
+/// Coalesce the whole nest rooted at `l` with possibly-symbolic upper
+/// bounds. Bounds must already be `1..=U step 1` per level; `U` may be
+/// any expression not written inside the nest.
+pub fn coalesce_symbolic(l: &Loop, opts: &CoalesceOptions) -> Result<SymbolicCoalesce> {
+    let nest = extract_nest(l);
+    let depth = nest.depth();
+    let (start, end) = opts.levels.unwrap_or((0, depth));
+    if start >= end || end > depth {
+        return Err(Error::Unsupported(format!(
+            "invalid level band [{start}, {end}) for nest of depth {depth}"
+        )));
+    }
+    for h in &nest.loops {
+        if h.lower.as_const() != Some(1) || h.step.as_const() != Some(1) {
+            return Err(Error::Unsupported(format!(
+                "symbolic coalescing requires `1..=U step 1` loops; `{}` is not",
+                h.var
+            )));
+        }
+    }
+    // Upper bounds must be invariant: no bound may mention a variable
+    // assigned inside the nest or any nest index.
+    let mut assigned = Vec::new();
+    collect_assigned(&nest.body, &mut assigned);
+    for h in &nest.loops {
+        assigned.push(h.var.clone());
+    }
+    for h in &nest.loops[start..end] {
+        let mut vars = Vec::new();
+        h.upper.variables(&mut vars);
+        if let Some(v) = vars.iter().find(|v| assigned.contains(v)) {
+            return Err(Error::Unsupported(format!(
+                "bound of `{}` depends on `{v}`, which the nest modifies",
+                h.var
+            )));
+        }
+    }
+
+    // Legality: reuse the constant-path checker (dependence analysis is
+    // conservative with symbolic bounds).
+    if opts.check_legality {
+        let deps = lc_ir::analysis::depend::analyze_nest(&nest)?;
+        for level in start..end {
+            if deps.carried_at(level) {
+                return Err(Error::Unsupported(format!(
+                    "dependence carried at level `{}` forbids coalescing",
+                    nest.loops[level].var
+                )));
+            }
+        }
+        crate::coalesce::scalar_privatization_ok(&nest, start, end)?;
+    } else if !nest.loops[start..end].iter().all(|h| h.kind.is_doall()) {
+        return Err(Error::Unsupported(
+            "legality checking disabled and some level is not a doall".into(),
+        ));
+    }
+
+    // Fresh names for the coalesced index and the stride scalars.
+    let used = all_symbols(&nest);
+    let jvar = fresh(&used, "jc");
+    let band = &nest.loops[start..end];
+    let m = band.len();
+
+    // stride[k] = Π_{l>k} U_l  (within the band); total = U_s * stride[s].
+    let stride_names: Vec<Symbol> = (0..m)
+        .map(|k| fresh(&used, &format!("lcs_{k}")))
+        .collect();
+    let total_name = fresh(&used, "lcs_total");
+
+    let mut preamble = Vec::new();
+    let mut running: Expr = Expr::lit(1);
+    for k in (0..m).rev() {
+        preamble.push(Stmt::AssignScalar {
+            var: stride_names[k].clone(),
+            value: running.clone().fold(),
+        });
+        running = (Expr::Var(stride_names[k].clone()) * band[k].upper.clone()).fold();
+    }
+    preamble.push(Stmt::AssignScalar {
+        var: total_name.clone(),
+        value: running,
+    });
+    // Preamble was built innermost-first; order does not matter for
+    // correctness (each assignment only uses deeper strides), but emit
+    // outermost-last for readability — already the case.
+
+    // Recovery statements with symbolic strides.
+    let j = Expr::Var(jvar.clone());
+    let mut body = Vec::with_capacity(m + 1);
+    for k in 0..m {
+        let stride = Expr::Var(stride_names[k].clone());
+        let expr = match opts.scheme {
+            RecoveryScheme::Ceiling => {
+                let first = j.clone().ceil_div(stride.clone());
+                if k == 0 {
+                    first
+                } else {
+                    let outer = (stride.clone() * band[k].upper.clone()).fold();
+                    first - band[k].upper.clone() * (j.clone().ceil_div(outer) - Expr::lit(1))
+                }
+            }
+            RecoveryScheme::DivMod => {
+                let q = j.clone() - Expr::lit(1);
+                let shifted = q.floor_div(stride);
+                if k == 0 {
+                    shifted + Expr::lit(1)
+                } else {
+                    shifted.floor_mod(band[k].upper.clone()) + Expr::lit(1)
+                }
+            }
+        };
+        body.push(Stmt::AssignScalar {
+            var: band[k].var.clone(),
+            value: expr.fold(),
+        });
+    }
+
+    // Inner uncoalesced levels, then outer wrapping, as in the constant path.
+    let mut inner_body = nest.body.clone();
+    for h in nest.loops[end..].iter().rev() {
+        inner_body = vec![Stmt::Loop(Loop {
+            var: h.var.clone(),
+            lower: h.lower.clone(),
+            upper: h.upper.clone(),
+            step: h.step.clone(),
+            kind: h.kind,
+            body: inner_body,
+        })];
+    }
+    body.extend(inner_body);
+
+    let mut result = Loop {
+        var: jvar.clone(),
+        lower: Expr::lit(1),
+        upper: Expr::Var(total_name),
+        step: Expr::lit(1),
+        kind: LoopKind::Doall,
+        body,
+    };
+    for h in nest.loops[..start].iter().rev() {
+        result = Loop {
+            var: h.var.clone(),
+            lower: h.lower.clone(),
+            upper: h.upper.clone(),
+            step: h.step.clone(),
+            kind: h.kind,
+            body: vec![Stmt::Loop(result)],
+        };
+    }
+
+    Ok(SymbolicCoalesce {
+        preamble,
+        transformed: result,
+        coalesced_var: jvar,
+    })
+}
+
+fn collect_assigned(stmts: &[Stmt], out: &mut Vec<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, .. } => out.push(var.clone()),
+            Stmt::AssignArray { .. } => {}
+            Stmt::Loop(l) => {
+                out.push(l.var.clone());
+                collect_assigned(&l.body, out);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+        }
+    }
+}
+
+fn all_symbols(nest: &lc_ir::analysis::nest::Nest) -> Vec<String> {
+    let mut syms: Vec<Symbol> = Vec::new();
+    for h in &nest.loops {
+        syms.push(h.var.clone());
+        h.lower.variables(&mut syms);
+        h.upper.variables(&mut syms);
+        h.step.variables(&mut syms);
+    }
+    fn walk(stmts: &[Stmt], out: &mut Vec<Symbol>) {
+        for s in stmts {
+            match s {
+                Stmt::AssignScalar { var, value } => {
+                    out.push(var.clone());
+                    value.variables(out);
+                }
+                Stmt::AssignArray { target, value } => {
+                    out.push(target.array.clone());
+                    for ix in &target.indices {
+                        ix.variables(out);
+                    }
+                    value.variables(out);
+                }
+                Stmt::Loop(l) => {
+                    out.push(l.var.clone());
+                    l.lower.variables(out);
+                    l.upper.variables(out);
+                    l.step.variables(out);
+                    walk(&l.body, out);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    cond.variables(out);
+                    walk(then_body, out);
+                    walk(else_body, out);
+                }
+            }
+        }
+    }
+    walk(&nest.body, &mut syms);
+    syms.into_iter().map(|s| s.as_str().to_string()).collect()
+}
+
+fn fresh(used: &[String], base: &str) -> Symbol {
+    if !used.iter().any(|u| u == base) {
+        return Symbol::new(base);
+    }
+    let mut n = 0;
+    loop {
+        let cand = format!("{base}_{n}");
+        if !used.contains(&cand) {
+            return Symbol::new(cand);
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::interp::{DoallOrder, Interp};
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn loop_of(p: &Program) -> (usize, Loop) {
+        p.body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| match s {
+                Stmt::Loop(l) => Some((i, l.clone())),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    fn check(src: &str, opts: &CoalesceOptions) {
+        let p = parse_program(src).unwrap();
+        let (idx, l) = loop_of(&p);
+        let out = coalesce_symbolic(&l, opts).unwrap();
+
+        let mut p2 = p.clone();
+        p2.body.remove(idx);
+        for (off, s) in out.stmts().into_iter().enumerate() {
+            p2.body.insert(idx + off, s);
+        }
+        p2.check().expect("transformed program must check");
+        let reference = Interp::new().run(&p).unwrap();
+        for order in [DoallOrder::Forward, DoallOrder::Shuffled(3)] {
+            let got = Interp::new().with_order(order).run(&p2).unwrap();
+            assert_eq!(reference, got, "symbolic coalescing diverged:\n{src}");
+        }
+    }
+
+    #[test]
+    fn symbolic_2d_both_schemes() {
+        let src = "
+            array A[12][9];
+            n = 12;
+            m = 9;
+            doall i = 1..n {
+                doall j = 1..m {
+                    A[i][j] = i * 100 + j;
+                }
+            }
+            ";
+        for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
+            check(
+                src,
+                &CoalesceOptions {
+                    scheme,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_3d() {
+        check(
+            "
+            array V[3][4][5];
+            a = 3;
+            b = 4;
+            c = 5;
+            doall i = 1..a {
+                doall j = 1..b {
+                    doall k = 1..c {
+                        V[i][j][k] = i + 10 * j + 100 * k;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn symbolic_bound_expressions() {
+        // Bounds that are arithmetic over runtime scalars.
+        check(
+            "
+            array A[20][10];
+            n = 10;
+            doall i = 1..n + n {
+                doall j = 1..n {
+                    A[i][j] = i - j;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn mixed_constant_and_symbolic() {
+        check(
+            "
+            array A[7][11];
+            m = 11;
+            doall i = 1..7 {
+                doall j = 1..m {
+                    A[i][j] = i * j;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn partial_band_with_symbolic_inner_serial() {
+        check(
+            "
+            array A[6][8];
+            array S[6];
+            n = 6;
+            m = 8;
+            doall i = 1..n {
+                acc = 0;
+                for j = 1..m {
+                    acc = acc + A[i][j];
+                }
+                S[i] = acc;
+            }
+            ",
+            &CoalesceOptions {
+                levels: Some((0, 1)),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn offset_bounds_are_rejected() {
+        let p = parse_program(
+            "
+            array A[10];
+            n = 9;
+            doall i = 2..n {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_symbolic(&l, &CoalesceOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn bound_modified_inside_nest_is_rejected() {
+        let p = parse_program(
+            "
+            array A[10][10];
+            n = 10;
+            doall i = 1..n {
+                n = 5;
+                doall j = 1..n {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_symbolic(&l, &CoalesceOptions::default()).unwrap_err();
+        match err {
+            Error::Unsupported(m) => assert!(m.contains("modifies"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn carried_dependence_rejected_symbolically() {
+        let p = parse_program(
+            "
+            array A[20];
+            n = 20;
+            for i = 1..n {
+                A[i] = A[i] + 1;
+            }
+            ",
+        )
+        .unwrap();
+        // This one is fine (no carried dep) — now a genuinely carried one:
+        let p2 = parse_program(
+            "
+            array A[21];
+            n = 20;
+            for i = 1..n {
+                A[i + 1] = A[i] + 1;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        assert!(coalesce_symbolic(&l, &CoalesceOptions::default()).is_ok());
+        let (_, l2) = loop_of(&p2);
+        assert!(coalesce_symbolic(&l2, &CoalesceOptions::default()).is_err());
+    }
+
+    #[test]
+    fn symbolic_scalar_reduction_is_rejected() {
+        let p = parse_program(
+            "
+            array A[16];
+            n = 16;
+            s = 0;
+            doall i = 1..n {
+                s = s + A[i];
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_symbolic(&l, &CoalesceOptions::default()).unwrap_err();
+        match err {
+            Error::Unsupported(m) => assert!(m.contains("scalar"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_collisions_are_avoided() {
+        check(
+            "
+            array A[4][5];
+            jc = 1;
+            lcs_0 = 2;
+            lcs_total = 3;
+            n = 4;
+            doall i = 1..n {
+                doall j = 1..5 {
+                    A[i][j] = i + j + jc + lcs_0 + lcs_total;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn zero_trip_symbolic_loop() {
+        // n = 0: the coalesced loop runs 1..0 — empty, no divisions by the
+        // zero stride are ever evaluated.
+        check(
+            "
+            array A[5][5];
+            n = 0;
+            doall i = 1..n {
+                doall j = 1..5 {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The collapse-band advisor: let the cost model decide how many levels
+//! to coalesce, instead of always collapsing everything.
+//!
+//! ```text
+//! cargo run --release --example auto_collapse
+//! ```
+
+use loop_coalescing::ir::parser::parse_program;
+use loop_coalescing::ir::printer::print_stmt_str;
+use loop_coalescing::ir::Stmt;
+use loop_coalescing::sched::advise::AdviseParams;
+use loop_coalescing::{advise_collapse, coalesce_advised};
+
+fn main() {
+    let src = "
+        array V[8][8][8][8];
+        doall a = 1..8 {
+            doall b = 1..8 {
+                doall c = 1..8 {
+                    doall d = 1..8 {
+                        V[a][b][c][d] = a * 512 + b * 64 + c * 8 + d;
+                    }
+                }
+            }
+        }
+    ";
+    let p = parse_program(src).unwrap();
+    let Stmt::Loop(l) = &p.body[0] else { panic!() };
+
+    for (label, p_count, body) in [
+        ("small machine, fat bodies", 4u64, 400u64),
+        ("medium machine", 16, 50),
+        ("large machine, thin bodies", 256, 10),
+    ] {
+        let params = AdviseParams {
+            p: p_count,
+            body_cost: body,
+            ..Default::default()
+        };
+        let advice = advise_collapse(l, &params).unwrap();
+        println!("── {label}: p = {p_count}, body ≈ {body} ops ──");
+        println!("   chosen band: {:?}", advice.band);
+        for c in advice.candidates.iter().take(4) {
+            println!("     band {:?}  est. makespan {:>8}", c.band, c.estimate);
+        }
+        println!();
+    }
+
+    // Apply the medium-machine advice and show the result.
+    let params = AdviseParams {
+        p: 16,
+        body_cost: 50,
+        ..Default::default()
+    };
+    let result = coalesce_advised(l, &params).unwrap();
+    println!("── transformed (band {:?} of depth {}) ──", result.info.levels, result.info.original_depth);
+    print!("{}", print_stmt_str(&Stmt::Loop(result.transformed)));
+    println!("\nThe advisor collapses only as many levels as the machine needs:");
+    println!("more levels would add index-recovery divisions to every iteration");
+    println!("without exposing any balance the processors could use.");
+}

@@ -1,0 +1,78 @@
+//! Matrix multiplication, the paper era's canonical coalescing example:
+//! transform the IR kernel, verify it, then run the same shape on real
+//! threads and compare dispatch strategies.
+//!
+//! ```text
+//! cargo run --release --example matmul_coalesce
+//! ```
+
+use std::time::Duration;
+
+use loop_coalescing::ir::interp::Interp;
+use loop_coalescing::ir::printer::print_stmt_str;
+use loop_coalescing::ir::Stmt;
+use loop_coalescing::runtime::{coalesced_for, inner_sweep_for, outer_for, RuntimeOptions};
+use loop_coalescing::sched::policy::PolicyKind;
+use loop_coalescing::workloads::kernels::matmul;
+use loop_coalescing::workloads::rt::{gen_a, gen_b, matmul_cell, matmul_serial, AtomicMatrix};
+use loop_coalescing::xform::coalesce::{coalesce_loop, CoalesceOptions};
+
+fn main() {
+    // ── 1. the compiler side: coalesce the (i, j) nest of the IR kernel ──
+    let kernel = matmul(8, 6, 5);
+    let target = kernel.target_loop().clone();
+    println!("── matmul (i, j) nest before ────────────────────────────");
+    print!("{}", print_stmt_str(&Stmt::Loop(target.clone())));
+
+    let opts = CoalesceOptions {
+        levels: kernel.band,
+        ..Default::default()
+    };
+    let result = coalesce_loop(&target, &opts).expect("matmul nest must coalesce");
+    println!("\n── after coalescing (k-reduction stays serial inside) ───");
+    print!("{}", print_stmt_str(&Stmt::Loop(result.transformed.clone())));
+
+    // Verify by running both programs.
+    let mut transformed_prog = kernel.program.clone();
+    transformed_prog.body[kernel.loop_index] = Stmt::Loop(result.transformed);
+    let a = Interp::new().run(&kernel.program).unwrap();
+    let b = Interp::new().run(&transformed_prog).unwrap();
+    assert_eq!(a, b);
+    println!("\ninterpreter check: transformed kernel produces identical C ✓");
+
+    // ── 2. the runtime side: the same shape on real threads ─────────────
+    let (n, m, k) = (256usize, 256usize, 64usize);
+    let a_mat = gen_a(n, k);
+    let b_mat = gen_b(k, m);
+    let want = matmul_serial(&a_mat, &b_mat, n, m, k);
+    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let dims = [n as u64, m as u64];
+
+    println!("\n── real threads: {n}x{m}x{k} matmul, {threads} workers ──");
+    println!("  {:<22} {:>10}  {:>8}", "strategy", "time", "chunks");
+    let report = |name: &str, elapsed: Duration, chunks: u64, c: &AtomicMatrix| {
+        assert_eq!(c.snapshot(), want, "{name} computed a wrong product");
+        println!("  {:<22} {:>8.2}ms  {:>8}", name, elapsed.as_secs_f64() * 1e3, chunks);
+    };
+
+    for policy in [PolicyKind::SelfSched, PolicyKind::Chunked(64), PolicyKind::Guided] {
+        let c = AtomicMatrix::zeroed(n, m);
+        let opts = RuntimeOptions { threads, policy };
+        let stats = coalesced_for(&dims, &opts, |iv| matmul_cell(&a_mat, &b_mat, &c, k, iv));
+        report(&format!("coalesced {}", policy.name()), stats.elapsed, stats.total_chunks(), &c);
+    }
+    {
+        let c = AtomicMatrix::zeroed(n, m);
+        let opts = RuntimeOptions { threads, policy: PolicyKind::Guided };
+        let stats = outer_for(&dims, &opts, |iv| matmul_cell(&a_mat, &b_mat, &c, k, iv));
+        report("outer-parallel GSS", stats.elapsed, stats.total_chunks(), &c);
+    }
+    {
+        let c = AtomicMatrix::zeroed(n, m);
+        let opts = RuntimeOptions { threads, policy: PolicyKind::SelfSched };
+        let stats = inner_sweep_for(&dims, &opts, |iv| matmul_cell(&a_mat, &b_mat, &c, k, iv));
+        report("fork-join per row", stats.elapsed, stats.total_chunks(), &c);
+    }
+    println!("\n(fork-join per row pays a thread fork + join for each of the {n} rows —");
+    println!(" the overhead the coalescing transformation eliminates)");
+}

@@ -1,0 +1,37 @@
+//! Quickstart: coalesce a doubly-nested parallel loop and show the
+//! rewritten source.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use loop_coalescing::coalesce_source;
+
+fn main() {
+    let src = "
+        array A[100][50];
+        doall i = 1..100 {
+            doall j = 1..50 {
+                A[i][j] = i * j + i - j;
+            }
+        }
+    ";
+
+    println!("── original ─────────────────────────────────────────────");
+    println!("{}", src.trim());
+
+    let out = coalesce_source(src).expect("coalescing failed");
+
+    println!("\n── coalesced ────────────────────────────────────────────");
+    print!("{}", out.transformed_source);
+
+    for info in &out.coalesced {
+        println!("\n── what happened ────────────────────────────────────────");
+        println!("  coalesced levels : {:?} of a depth-{} nest", info.levels, info.original_depth);
+        println!("  trip counts      : {:?}  →  one loop of {} iterations", info.dims, info.total_iterations);
+        println!("  recovery scheme  : {} ({} abstract ops/iteration)", info.scheme.name(), info.recovery_cost_per_iteration);
+        println!("  new index        : {}", info.coalesced_var);
+    }
+    println!("\nThe rewrite was validated against the reference interpreter");
+    println!("(same final store under forward, reverse, and shuffled doall orders).");
+}

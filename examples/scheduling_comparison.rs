@@ -1,0 +1,64 @@
+//! Scheduling on the simulated machine: sweep processors and policies on
+//! a triangular workload and watch coalescing + dynamic dispatch fix the
+//! load imbalance that defeats static outer-loop parallelization.
+//!
+//! ```text
+//! cargo run --release --example scheduling_comparison
+//! ```
+
+use loop_coalescing::machine::cost::CostModel;
+use loop_coalescing::machine::exec::{simulate_nest, ExecMode};
+use loop_coalescing::machine::metrics::Metrics;
+use loop_coalescing::machine::sim::LoopSchedule;
+use loop_coalescing::sched::policy::{PolicyKind, StaticKind};
+use loop_coalescing::workloads::itertime::WorkModel;
+use loop_coalescing::xform::recovery::{per_iteration_cost, RecoveryScheme};
+
+fn main() {
+    let dims = [64u64, 64];
+    let model = WorkModel::TriangularMask { heavy: 100, light: 1 };
+    let cost = CostModel::default();
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+    let body = move |iv: &[i64]| model.cost(iv);
+
+    let seq = simulate_nest(&dims, 1, ExecMode::Sequential, &cost, &body).makespan;
+    println!("workload: {:?} nest, body = {}", dims, model.name());
+    println!("sequential time: {seq} abstract instructions\n");
+
+    let modes: Vec<(&str, ExecMode)> = vec![
+        ("outer-parallel, static block", ExecMode::OuterParallel {
+            schedule: LoopSchedule::Static(StaticKind::Block),
+        }),
+        ("outer-parallel, self-sched", ExecMode::OuterParallel {
+            schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+        }),
+        ("coalesced, static block", ExecMode::Coalesced {
+            schedule: LoopSchedule::Static(StaticKind::Block),
+            recovery_cost: rec,
+        }),
+        ("coalesced, CSS(32)", ExecMode::coalesced(PolicyKind::Chunked(32), rec)),
+        ("coalesced, GSS", ExecMode::coalesced(PolicyKind::Guided, rec)),
+        ("coalesced, factoring", ExecMode::coalesced(PolicyKind::Factoring, rec)),
+    ];
+
+    println!(
+        "{:<30} {:>6} {:>9} {:>7} {:>10} {:>10}",
+        "strategy", "p", "makespan", "speedup", "imbalance", "fetch&adds"
+    );
+    for p in [4usize, 16, 64] {
+        println!("{}", "-".repeat(76));
+        for (name, mode) in &modes {
+            let r = simulate_nest(&dims, p, *mode, &cost, &body);
+            let m = Metrics::compute(seq, &r, p);
+            println!(
+                "{:<30} {:>6} {:>9} {:>7.2} {:>10.3} {:>10}",
+                name, p, r.makespan, m.speedup, m.imbalance, r.fetch_adds
+            );
+        }
+    }
+
+    println!("\nreading guide: static outer-loop scheduling assigns whole rows, so the");
+    println!("triangle piles heavy rows onto the last processors (imbalance → 1.0).");
+    println!("Coalescing turns the nest into one 4096-iteration pool; GSS/factoring");
+    println!("then balance it to within a fraction of a percent.");
+}

@@ -1,0 +1,155 @@
+//! Integration: transform → schedule → simulate, end to end.
+//!
+//! The full paper pipeline: the compiler coalesces a nest and reports the
+//! recovery cost; the scheduling layer predicts the dispatch savings; the
+//! simulator confirms that the coalesced execution (paying the compiler's
+//! own reported recovery cost) beats the fork-join nested execution.
+
+use loop_coalescing::coalesce_source;
+use loop_coalescing::machine::cost::CostModel;
+use loop_coalescing::machine::exec::{simulate_nest, ExecMode};
+use loop_coalescing::machine::sim::LoopSchedule;
+use loop_coalescing::sched::dispatch::{coalesced_dispatch, nested_dispatch};
+use loop_coalescing::sched::policy::PolicyKind;
+
+#[test]
+fn transform_then_simulate_shows_the_paper_headline() {
+    let src = "
+        array A[24][24][8];
+        doall i = 1..24 {
+            doall j = 1..24 {
+                doall k = 1..8 {
+                    A[i][j][k] = i * j + k;
+                }
+            }
+        }
+    ";
+    let out = coalesce_source(src).unwrap();
+    assert_eq!(out.coalesced.len(), 1);
+    let info = &out.coalesced[0];
+    assert_eq!(info.total_iterations, 24 * 24 * 8);
+
+    // Scheduling layer: coalesced dispatch is far cheaper.
+    let p = 16;
+    let nested = nested_dispatch(&info.dims, p, PolicyKind::SelfSched);
+    let coal = coalesced_dispatch(&info.dims, p, PolicyKind::SelfSched);
+    assert!(coal.total_sync_ops() * 2 < nested.total_sync_ops());
+
+    // Machine layer: the simulated makespan agrees, using the compiler's
+    // own recovery cost.
+    let cost = CostModel::default();
+    let body = |_: &[i64]| 200u64; // large enough to amortize the depth-3 recovery cost
+    let coal_span = simulate_nest(
+        &info.dims,
+        p,
+        ExecMode::coalesced(PolicyKind::Guided, info.recovery_cost_per_iteration),
+        &cost,
+        &body,
+    )
+    .makespan;
+    let sweep_span = simulate_nest(
+        &info.dims,
+        p,
+        ExecMode::InnerParallelSweep {
+            schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+        },
+        &cost,
+        &body,
+    )
+    .makespan;
+    let seq_span = simulate_nest(&info.dims, 1, ExecMode::Sequential, &cost, &body).makespan;
+
+    assert!(coal_span < sweep_span, "{coal_span} !< {sweep_span}");
+    assert!(
+        (coal_span as f64) < seq_span as f64 / (p as f64 * 0.6),
+        "coalesced speedup below 60% efficiency: {coal_span} vs seq {seq_span}"
+    );
+}
+
+#[test]
+fn pipeline_report_matches_scheduler_inputs() {
+    // The CoalesceInfo dims drive the scheduling layer directly.
+    let out = coalesce_source(
+        "
+        array B[10][20];
+        doall i = 1..10 {
+            doall j = 1..20 {
+                B[i][j] = i - j;
+            }
+        }
+        ",
+    )
+    .unwrap();
+    let info = &out.coalesced[0];
+    assert_eq!(info.dims, vec![10, 20]);
+    let d = coalesced_dispatch(&info.dims, 4, PolicyKind::SelfSched);
+    assert_eq!(d.iterations, info.total_iterations);
+}
+
+#[test]
+fn mixed_program_transforms_only_what_is_legal() {
+    let out = coalesce_source(
+        "
+        array H[16];
+        array G[8][8];
+        array S[1];
+        // recurrence: must be skipped
+        for t = 2..16 {
+            H[t] = H[t - 1] * 2 + 1;
+        }
+        // independent: must be coalesced
+        doall i = 1..8 {
+            doall j = 1..8 {
+                G[i][j] = H[i] + H[j];
+            }
+        }
+        // scalar reduction: must be skipped
+        s = 0;
+        for i = 1..8 {
+            s = s + H[i];
+        }
+        S[1] = s;
+        ",
+    )
+    .unwrap();
+    assert_eq!(out.coalesced.len(), 1, "{:?}", out.skipped);
+    assert_eq!(out.skipped.len(), 2);
+    // And the transformed program still runs correctly end to end.
+    let store = loop_coalescing::ir::interp::Interp::new()
+        .run(&out.transformed)
+        .unwrap();
+    // H[2] = 1, H[3] = 3, ... H[t] = 2^(t-1) - 1.
+    assert_eq!(store.get("H", &[5]).unwrap(), 15);
+    assert_eq!(
+        store.get("G", &[5, 3]).unwrap(),
+        15 + 3 // H[5] + H[3]
+    );
+}
+
+#[test]
+fn deep_nest_partial_collapse_through_public_api() {
+    use loop_coalescing::coalesce_source_with;
+    use loop_coalescing::xform::coalesce::CoalesceOptions;
+    let opts = CoalesceOptions {
+        levels: Some((0, 2)),
+        ..Default::default()
+    };
+    let out = coalesce_source_with(
+        "
+        array V[4][5][6];
+        doall i = 1..4 {
+            doall j = 1..5 {
+                doall k = 1..6 {
+                    V[i][j][k] = i + j + k;
+                }
+            }
+        }
+        ",
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(out.coalesced[0].levels, (0, 2));
+    assert_eq!(out.coalesced[0].total_iterations, 20);
+    // The inner k loop survives inside the coalesced loop.
+    assert!(out.transformed_source.contains("doall k = 1..6"));
+}

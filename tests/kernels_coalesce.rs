@@ -1,0 +1,101 @@
+//! Integration: every workload kernel coalesces legally and the
+//! transformed program is equivalent to the original under multiple seeds
+//! and doall orders.
+
+use loop_coalescing::ir::Stmt;
+use loop_coalescing::workloads::kernels;
+use loop_coalescing::xform::coalesce::{coalesce_loop, CoalesceOptions};
+use loop_coalescing::xform::validate::{check_equivalent, check_order_independent};
+
+fn coalesce_kernel(kernel: &kernels::Kernel) -> loop_coalescing::ir::Program {
+    let opts = CoalesceOptions {
+        levels: kernel.band,
+        ..Default::default()
+    };
+    let result = coalesce_loop(kernel.target_loop(), &opts)
+        .unwrap_or_else(|e| panic!("kernel `{}` failed to coalesce: {e}", kernel.name));
+    assert_eq!(
+        result.info.dims, kernel.dims,
+        "kernel `{}` coalesced unexpected dims",
+        kernel.name
+    );
+    let mut transformed = kernel.program.clone();
+    transformed.body[kernel.loop_index] = Stmt::Loop(result.transformed);
+    transformed
+}
+
+#[test]
+fn all_kernels_coalesce_and_stay_equivalent() {
+    for kernel in kernels::all_small() {
+        let transformed = coalesce_kernel(&kernel);
+        for seed in [1u64, 77, 4242] {
+            check_equivalent(&kernel.program, &transformed, seed)
+                .unwrap_or_else(|e| panic!("kernel `{}`: {e}", kernel.name));
+        }
+    }
+}
+
+#[test]
+fn coalesced_kernels_are_order_independent() {
+    for kernel in kernels::all_small() {
+        let transformed = coalesce_kernel(&kernel);
+        check_order_independent(&transformed, 9)
+            .unwrap_or_else(|e| panic!("kernel `{}`: {e}", kernel.name));
+    }
+}
+
+#[test]
+fn divmod_scheme_agrees_with_ceiling_scheme_on_kernels() {
+    use loop_coalescing::ir::interp::Interp;
+    use loop_coalescing::xform::recovery::RecoveryScheme;
+    for kernel in kernels::all_small() {
+        let mut outputs = Vec::new();
+        for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
+            let opts = CoalesceOptions {
+                levels: kernel.band,
+                scheme,
+                ..Default::default()
+            };
+            let result = coalesce_loop(kernel.target_loop(), &opts).unwrap();
+            let mut transformed = kernel.program.clone();
+            transformed.body[kernel.loop_index] = Stmt::Loop(result.transformed);
+            outputs.push(Interp::new().run(&transformed).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "kernel `{}`", kernel.name);
+    }
+}
+
+#[test]
+fn matmul_partial_bands_all_work() {
+    // For the (i, j) matmul nest, coalescing (0,1), (1,2) and (0,2) must
+    // all be legal and equivalent.
+    let kernel = kernels::matmul(5, 4, 3);
+    for band in [(0usize, 1usize), (1, 2), (0, 2)] {
+        let opts = CoalesceOptions {
+            levels: Some(band),
+            ..Default::default()
+        };
+        let result = coalesce_loop(kernel.target_loop(), &opts)
+            .unwrap_or_else(|e| panic!("band {band:?}: {e}"));
+        let mut transformed = kernel.program.clone();
+        transformed.body[kernel.loop_index] = Stmt::Loop(result.transformed);
+        check_equivalent(&kernel.program, &transformed, 5)
+            .unwrap_or_else(|e| panic!("band {band:?}: {e}"));
+    }
+}
+
+#[test]
+fn printed_kernels_roundtrip_through_the_source_pipeline() {
+    use loop_coalescing::coalesce_source;
+    use loop_coalescing::ir::printer::print_program;
+    for kernel in kernels::all_small() {
+        let src = print_program(&kernel.program);
+        let out = coalesce_source(&src)
+            .unwrap_or_else(|e| panic!("kernel `{}` source pipeline: {e}", kernel.name));
+        assert!(
+            !out.coalesced.is_empty(),
+            "kernel `{}`: nothing was coalesced",
+            kernel.name
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based integration test: randomly generated rectangular DOALL
+//! nests are coalesced (whole-nest and random partial bands, both recovery
+//! schemes) and must stay equivalent to the original under shuffled
+//! execution.
+
+use proptest::prelude::*;
+
+use loop_coalescing::ir::program::Program;
+use loop_coalescing::ir::stmt::{Loop, LoopKind, Stmt};
+use loop_coalescing::ir::{Expr, Symbol};
+use loop_coalescing::xform::coalesce::{coalesce_loop, CoalesceOptions};
+use loop_coalescing::xform::recovery::RecoveryScheme;
+use loop_coalescing::xform::validate::check_equivalent;
+
+/// A generated nest description: dims, per-level (lower, step), and a
+/// small recipe for the body expression.
+#[derive(Debug, Clone)]
+struct NestSpec {
+    dims: Vec<u64>,
+    lowers: Vec<i64>,
+    steps: Vec<i64>,
+    coeffs: Vec<i64>,
+    constant: i64,
+    read_input: bool,
+}
+
+fn nest_spec() -> impl Strategy<Value = NestSpec> {
+    (1usize..=3)
+        .prop_flat_map(|depth| {
+            (
+                proptest::collection::vec(1u64..=5, depth),
+                proptest::collection::vec(-3i64..=5, depth),
+                proptest::collection::vec(prop_oneof![Just(1i64), Just(2), Just(3)], depth),
+                proptest::collection::vec(-4i64..=4, depth),
+                -10i64..=10,
+                proptest::bool::ANY,
+            )
+        })
+        .prop_map(
+            |(dims, lowers, steps, coeffs, constant, read_input)| NestSpec {
+                dims,
+                lowers,
+                steps,
+                coeffs,
+                constant,
+                read_input,
+            },
+        )
+}
+
+/// Build the program: one OUT array indexed by normalized positions, an
+/// optional IN array read with an offset, and the doall nest writing an
+/// affine function of the indices.
+fn build(spec: &NestSpec) -> (Program, usize) {
+    let depth = spec.dims.len();
+    // Subscript `i_k - lo_k + 1` is affine, injective, and 1-based no
+    // matter the lower bound; the extent covers the largest stride.
+    let ext: Vec<usize> = spec
+        .dims
+        .iter()
+        .zip(&spec.steps)
+        .map(|(&n, &st)| ((n as i64 - 1) * st + 1) as usize)
+        .collect();
+
+    let vars: Vec<Symbol> = (0..depth).map(|k| Symbol::new(format!("i{k}"))).collect();
+    let subs: Vec<Expr> = vars
+        .iter()
+        .zip(&spec.lowers)
+        .map(|(v, &lo)| Expr::Var(v.clone()) - Expr::lit(lo) + Expr::lit(1))
+        .collect();
+
+    let mut value = Expr::lit(spec.constant);
+    for (v, &c) in vars.iter().zip(&spec.coeffs) {
+        value = value + Expr::Var(v.clone()) * Expr::lit(c);
+    }
+    if spec.read_input {
+        value = value + Expr::read("IN", subs.clone());
+    }
+
+    let mut body = vec![Stmt::store("OUT", subs, value)];
+    for k in (0..depth).rev() {
+        let n = spec.dims[k] as i64;
+        let lo = spec.lowers[k];
+        let st = spec.steps[k];
+        let hi = lo + (n - 1) * st;
+        body = vec![Stmt::Loop(Loop {
+            var: vars[k].clone(),
+            lower: Expr::lit(lo),
+            upper: Expr::lit(hi),
+            step: Expr::lit(st),
+            kind: LoopKind::Doall,
+            body,
+        })];
+    }
+
+    let mut prog = Program::new();
+    if spec.read_input {
+        prog = prog.with_array("IN", ext.clone());
+    }
+    prog = prog.with_array("OUT", ext);
+    let idx = prog.body.len();
+    prog.body.extend(body);
+    (prog, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_nests_coalesce_equivalently(spec in nest_spec(), seed in 0u64..1000) {
+        let (prog, idx) = build(&spec);
+        prog.check().expect("generated program must be well-formed");
+        let Stmt::Loop(target) = &prog.body[idx] else { unreachable!() };
+
+        for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
+            let opts = CoalesceOptions { scheme, ..Default::default() };
+            let result = coalesce_loop(target, &opts).expect("independent nest must coalesce");
+            let mut transformed = prog.clone();
+            transformed.body[idx] = Stmt::Loop(result.transformed);
+            check_equivalent(&prog, &transformed, seed)
+                .map_err(|e| TestCaseError::fail(format!("{spec:?}: {e}")))?;
+        }
+    }
+
+    #[test]
+    fn random_partial_bands_coalesce_equivalently(
+        spec in nest_spec(),
+        band_seed in 0usize..100,
+        seed in 0u64..1000,
+    ) {
+        let (prog, idx) = build(&spec);
+        let Stmt::Loop(target) = &prog.body[idx] else { unreachable!() };
+        let depth = spec.dims.len();
+        // Pick a valid band from the seed.
+        let start = band_seed % depth;
+        let end = start + 1 + (band_seed / depth) % (depth - start);
+
+        let opts = CoalesceOptions {
+            levels: Some((start, end)),
+            ..Default::default()
+        };
+        let result = coalesce_loop(target, &opts).expect("band must coalesce");
+        let mut transformed = prog.clone();
+        transformed.body[idx] = Stmt::Loop(result.transformed);
+        check_equivalent(&prog, &transformed, seed)
+            .map_err(|e| TestCaseError::fail(format!("{spec:?} band ({start},{end}): {e}")))?;
+    }
+}
