@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benchmarks keep their exact source shape (`benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`); measurement is a simple
+//! best-of-samples wall-clock timer printed per benchmark. The goal is
+//! compiling and running the suite offline, not statistical rigor.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("kernel", 64)` → `kernel/64`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best (minimum) per-iteration duration
+    /// observed across the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed() / self.iters.max(1) as u32;
+        if self.best.is_none_or(|b| per_iter < b) {
+            self.best = Some(per_iter);
+        }
+    }
+}
+
+fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bench = Bencher {
+        iters: 1,
+        best: None,
+    };
+    // One warm-up pass, then `samples` measured passes.
+    for _ in 0..=samples {
+        f(&mut bench);
+    }
+    let best = bench.best.unwrap_or_default();
+    println!("bench {id:<52} {:>12.3} µs/iter", best.as_secs_f64() * 1e6);
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark (criterion's default is
+    /// 100; this shim caps it to keep offline runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Run a parameterless benchmark.
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.samples, f);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<S: fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 5,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 5, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus samples should run the closure");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

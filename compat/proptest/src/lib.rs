@@ -1,0 +1,787 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This vendored shim keeps every property-test in the tree
+//! source-compatible: `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, integer-range and tuple strategies, `Just`, `prop_map`
+//! / `prop_flat_map` / `prop_recursive` / `boxed`, `collection::vec`,
+//! `sample::select`, and `bool::ANY`.
+//!
+//! Differences from real proptest, by design:
+//! * generation is driven by a deterministic per-test splitmix64 stream
+//!   (same inputs every run — failures are perfectly reproducible);
+//! * there is **no shrinking**: a failing case reports the generated
+//!   inputs verbatim;
+//! * `prop_recursive` unrolls the recursion `depth` times instead of
+//!   sizing by node count.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case driver: RNG, config, and failure plumbing.
+
+    use std::fmt;
+
+    /// Deterministic RNG (splitmix64) feeding all strategies of one case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed the stream; equal seeds give equal streams.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// RNG for case `case` of the named test: stable across runs and
+    /// independent across tests.
+    pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(h ^ (((case as u64) << 32) | case as u64))
+    }
+
+    /// Runner configuration; only `cases` is meaningful in this shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config overriding the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The inputs were rejected (e.g. `prop_assume!`); not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Best-effort extraction of a panic payload's message.
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Draw one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            Map {
+                source: self,
+                f: Rc::new(f),
+            }
+        }
+
+        /// Generate an intermediate value, then draw from the strategy
+        /// `f` builds from it.
+        fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            R: Strategy,
+            F: Fn(Self::Value) -> R + 'static,
+        {
+            FlatMap {
+                source: self,
+                f: Rc::new(f),
+            }
+        }
+
+        /// Build a recursive strategy: `self` is the leaf case and
+        /// `recurse` wraps an inner strategy into a larger value. The
+        /// recursion is unrolled `depth` times (the size hints of real
+        /// proptest are accepted and ignored).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat.clone()).boxed();
+            }
+            strat
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    impl<T> fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Strategy yielding a fixed value (`proptest::strategy::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F: ?Sized> {
+        source: S,
+        f: Rc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                source: self.source.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: fmt::Debug,
+        F: Fn(S::Value) -> U + 'static,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F: ?Sized> {
+        source: S,
+        f: Rc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for FlatMap<S, F> {
+        fn clone(&self) -> Self {
+            FlatMap {
+                source: self.source.clone(),
+                f: Rc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S, R, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        R: Strategy,
+        F: Fn(S::Value) -> R + 'static,
+    {
+        type Value = R::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> R::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let ix = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[ix].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = rng.next_u64() as u128 % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let off = rng.next_u64() as u128 % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategies {
+        ($({$($s:ident),+})+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        {A, B}
+        {A, B, C}
+        {A, B, C, D}
+        {A, B, C, D, E}
+        {A, B, C, D, E, F}
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Generate a `Vec` whose length lies in `size`, with elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`proptest::sample::select`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// Uniform choice among a fixed set of values. The values are cloned
+    /// out of the borrowed slice, so temporaries are fine at call sites.
+    pub fn select<T, V>(values: V) -> Select<T>
+    where
+        T: Clone + fmt::Debug + 'static,
+        V: AsRef<[T]>,
+    {
+        let options = values.as_ref().to_vec();
+        assert!(!options.is_empty(), "select() needs at least one value");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let ix = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[ix].clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Supports the two forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(256))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in proptest::collection::vec(0i64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        #[test]
+        fn $name() {
+            let __config = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for_case(stringify!($name), __case);
+                let __vals = ($( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+);
+                let __desc = format!("{__vals:?}");
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> $crate::test_runner::TestCaseResult {
+                        let ($($arg,)+) = __vals;
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match __outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    )) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(e)) => panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        e,
+                        __desc
+                    ),
+                    ::core::result::Result::Err(payload) => panic!(
+                        "proptest case {}/{} panicked: {}\n  inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        $crate::test_runner::panic_message(payload.as_ref()),
+                        __desc
+                    ),
+                }
+            }
+        }
+    )+};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: `{:?}`",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategy arms, mirroring `prop_oneof!`
+/// (unweighted arms only, which is all this workspace uses).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = crate::test_runner::rng_for_case("t", 3);
+        let mut b = crate::test_runner::rng_for_case("t", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = crate::test_runner::rng_for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::rng_for_case("ranges", 0);
+        for _ in 0..500 {
+            let x = (-30i64..=30).generate(&mut rng);
+            assert!((-30..=30).contains(&x));
+            let y = (1u64..12).generate(&mut rng);
+            assert!((1..12).contains(&y));
+            let z = (0usize..100).generate(&mut rng);
+            assert!(z < 100);
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::test_runner::rng_for_case("combine", 0);
+        let strat = prop_oneof![
+            Just(0i64),
+            (1i64..5).prop_map(|v| v * 10),
+            (1i64..3).prop_flat_map(|hi| 0i64..hi),
+        ]
+        .boxed();
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 0 || (10..50).contains(&v) || (0..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_tuples() {
+        let mut rng = crate::test_runner::rng_for_case("vecs", 0);
+        let strat = (
+            crate::collection::vec(1u64..8, 1..5),
+            crate::sample::select(&["a", "b"][..]),
+            crate::bool::ANY,
+        );
+        for _ in 0..100 {
+            let (v, s, _flag) = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+            assert!(v.iter().all(|&e| (1..8).contains(&e)));
+            assert!(s == "a" || s == "b");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf).boxed();
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = crate::test_runner::rng_for_case("tree", 0);
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, (lo, hi) in (0i64..5, 10i64..20)) {
+            prop_assert!(x < 100);
+            prop_assert!(lo < hi, "lo={} hi={}", lo, hi);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(lo, hi);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn macro_respects_config(_x in 0u64..10) {
+            // Counting happens implicitly; the body just must run.
+        }
+    }
+
+    #[test]
+    fn prop_asserts_produce_fail_errors() {
+        fn check(x: u64) -> TestCaseResult {
+            prop_assert!(x != 5, "x was {}", x);
+            prop_assert_eq!(x % 2, 0);
+            Ok(())
+        }
+        assert!(matches!(check(5), Err(TestCaseError::Fail(_))));
+        assert!(matches!(check(3), Err(TestCaseError::Fail(_))));
+        assert!(check(4).is_ok());
+    }
+}

@@ -25,15 +25,17 @@ fn bench_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_matmul");
     group.sample_size(10);
 
-    for policy in [PolicyKind::Guided, PolicyKind::Chunked(64), PolicyKind::SelfSched] {
+    for policy in [
+        PolicyKind::Guided,
+        PolicyKind::Chunked(64),
+        PolicyKind::SelfSched,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("coalesced", policy.name()),
             &policy,
             |bch, &policy| {
                 let opts = RuntimeOptions { threads, policy };
-                bch.iter(|| {
-                    coalesced_for(&dims, &opts, |iv| matmul_cell(&a, &b_mat, &out, K, iv))
-                })
+                bch.iter(|| coalesced_for(&dims, &opts, |iv| matmul_cell(&a, &b_mat, &out, K, iv)))
             },
         );
     }

@@ -112,7 +112,10 @@ pub fn run() -> Vec<Table> {
             aspan.to_string(),
             format!("{bb:?}"),
             bspan.to_string(),
-            format!("{:.1}", 100.0 * (aspan as f64 - bspan as f64) / bspan as f64),
+            format!(
+                "{:.1}",
+                100.0 * (aspan as f64 - bspan as f64) / bspan as f64
+            ),
         ]);
     }
     vec![t]

@@ -136,7 +136,10 @@ mod tests {
         let r = procs().iter().position(|&p| p == 32).unwrap();
         let block = spd.cell_f64(r, "OUTER/BLOCK").unwrap();
         let gss = spd.cell_f64(r, "COAL/GSS").unwrap();
-        assert!(gss > 1.25 * block, "GSS {gss} should dominate BLOCK {block}");
+        assert!(
+            gss > 1.25 * block,
+            "GSS {gss} should dominate BLOCK {block}"
+        );
     }
 
     #[test]
@@ -154,7 +157,10 @@ mod tests {
         let coal_static = imb.cell_f64(r, "COAL/BLOCK").unwrap();
         let coal_gss = imb.cell_f64(r, "COAL/GSS").unwrap();
         assert!(outer > 0.5, "outer static imbalance {outer}");
-        assert!(coal_static > 0.4, "coalesced static imbalance {coal_static}");
+        assert!(
+            coal_static > 0.4,
+            "coalesced static imbalance {coal_static}"
+        );
         assert!(coal_gss < 0.05, "coalesced GSS imbalance {coal_gss}");
     }
 }

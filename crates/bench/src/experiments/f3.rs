@@ -142,7 +142,11 @@ mod tests {
         // fixed CSS(64) — one row per chunk — cannot.
         let model = workloads()[1];
         let block = makespan(model, LoopSchedule::Static(StaticKind::Block));
-        for kind in [PolicyKind::Guided, PolicyKind::Trapezoid, PolicyKind::Factoring] {
+        for kind in [
+            PolicyKind::Guided,
+            PolicyKind::Trapezoid,
+            PolicyKind::Factoring,
+        ] {
             let m = makespan(model, LoopSchedule::Dynamic(kind));
             assert!(m < block, "{kind:?} {m} !< BLOCK {block}");
         }

@@ -157,10 +157,7 @@ mod tests {
         for r in 2..t.rows.len() {
             let full = t.cell_f64(r, "COAL/GSS").unwrap();
             let partial = t.cell_f64(r, "COAL(0..2)/GSS").unwrap();
-            assert!(
-                partial < full,
-                "row {r}: partial {partial} !< full {full}"
-            );
+            assert!(partial < full, "row {r}: partial {partial} !< full {full}");
         }
     }
 

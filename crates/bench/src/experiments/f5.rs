@@ -59,9 +59,7 @@ pub fn thread_counts() -> Vec<usize> {
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "F5",
-        format!(
-            "wall-clock (ms) for {N}x{M}x{K} integer matmul on real threads (host-dependent)"
-        ),
+        format!("wall-clock (ms) for {N}x{M}x{K} integer matmul on real threads (host-dependent)"),
         &[
             "threads",
             "COAL/GSS",
@@ -125,7 +123,11 @@ mod tests {
 
     #[test]
     fn multithreaded_coalesced_is_not_slower_than_half_of_single() {
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
             return; // single-core host: nothing to assert
         }
         let one = time_matmul(1, "coalesced", PolicyKind::Guided);

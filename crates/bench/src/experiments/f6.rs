@@ -112,7 +112,10 @@ mod tests {
             let s = doacross_speedup(delay);
             let b = pipeline_speedup_bound(P, BODY, delay);
             assert!(s <= b + 0.3, "delay={delay}: {s:.2} > bound {b:.2}");
-            assert!(s <= prev + 0.05, "speedup must decay: {s:.2} after {prev:.2}");
+            assert!(
+                s <= prev + 0.05,
+                "speedup must decay: {s:.2} after {prev:.2}"
+            );
             prev = s;
         }
     }
@@ -133,7 +136,10 @@ mod tests {
         // pipeline bound of ~1.
         let (seq, da, _) = recurrence_strategies(16);
         let ratio = seq as f64 / da as f64;
-        assert!(ratio < 1.2, "doacross with full-row delay cannot speed up: {ratio:.2}");
+        assert!(
+            ratio < 1.2,
+            "doacross with full-row delay cannot speed up: {ratio:.2}"
+        );
     }
 
     #[test]

@@ -51,7 +51,14 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "T3",
         "static block-schedule length (body executions on the critical path)",
-        &["dims", "p", "coalesced", "best nested", "best alloc", "gap %"],
+        &[
+            "dims",
+            "p",
+            "coalesced",
+            "best nested",
+            "best alloc",
+            "gap %",
+        ],
     );
     for (dims, p) in cases() {
         let n: u64 = dims.iter().product();
@@ -100,10 +107,7 @@ mod tests {
     fn perfect_fit_ties_and_misfit_wins() {
         let t = &run()[0];
         // Row 0: 8x8 on 16 — tie.
-        assert_eq!(
-            t.cell_f64(0, "coalesced"),
-            t.cell_f64(0, "best nested")
-        );
+        assert_eq!(t.cell_f64(0, "coalesced"), t.cell_f64(0, "best nested"));
         // Row 2: 7x11 on 8 — strict win.
         assert!(t.cell_f64(2, "coalesced").unwrap() < t.cell_f64(2, "best nested").unwrap());
     }

@@ -71,9 +71,7 @@ pub fn crossover_vs_sequential() -> Option<u64> {
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "T4",
-        format!(
-            "makespan (abstract instructions) vs body size, {DIMS:?} nest, p={P}"
-        ),
+        format!("makespan (abstract instructions) vs body size, {DIMS:?} nest, p={P}"),
         &["body S", "SEQ", "OUTER/SS", "COAL/SS", "COAL/GSS", "winner"],
     );
     for s in body_sizes() {

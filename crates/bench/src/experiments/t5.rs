@@ -122,7 +122,11 @@ mod tests {
     fn every_kernel_speeds_up_under_coalescing() {
         for kernel in kernel_list() {
             let (_, coal, ..) = evaluate(&kernel);
-            assert!(coal > 2.0, "{}: coalesced speedup only {coal:.2}", kernel.name);
+            assert!(
+                coal > 2.0,
+                "{}: coalesced speedup only {coal:.2}",
+                kernel.name
+            );
         }
     }
 
@@ -131,7 +135,10 @@ mod tests {
         let (mean_body, coal, ..) = evaluate(&kernels::matmul(16, 16, 8));
         // The k-reduction makes iterations fat (~8*(3+1+1+1+2)+… ops), so
         // recovery overhead is negligible and speedup approaches p.
-        assert!(mean_body > 40.0, "matmul body unexpectedly thin: {mean_body}");
+        assert!(
+            mean_body > 40.0,
+            "matmul body unexpectedly thin: {mean_body}"
+        );
         assert!(coal > 10.0, "matmul coalesced speedup {coal:.2}");
     }
 

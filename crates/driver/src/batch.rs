@@ -1,0 +1,52 @@
+//! Parallel batch compilation with deterministic output ordering.
+//!
+//! Fittingly for a reproduction of a self-scheduling paper, the batch
+//! compiler *is* a self-scheduled loop: workers grab the next source
+//! index from one shared atomic counter (the software analogue of the
+//! machine's fetch&add dispatcher) and write their result into that
+//! index's dedicated slot. Output order therefore depends only on input
+//! order, never on scheduling — `compile_batch` returns exactly what
+//! mapping [`crate::Driver::compile`] over the inputs sequentially would.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lc_ir::Result;
+use parking_lot::Mutex;
+
+use crate::{Driver, DriverOutput};
+
+/// Compile every source, in parallel, preserving input order.
+pub fn compile_batch<S: AsRef<str> + Sync>(
+    driver: &Driver,
+    sources: &[S],
+) -> Vec<Result<DriverOutput>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(sources.len());
+    if workers <= 1 {
+        return sources.iter().map(|s| driver.compile(s.as_ref())).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<DriverOutput>>>> =
+        sources.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= sources.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(driver.compile(sources[i].as_ref()));
+            });
+        }
+    })
+    .expect("batch worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("self-scheduler filled every slot"))
+        .collect()
+}

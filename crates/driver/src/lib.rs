@@ -1,0 +1,226 @@
+//! `lc-driver` — the instrumented pass driver for the loop-coalescing
+//! workspace.
+//!
+//! The seed pipeline (`loop_coalescing::coalesce_source`) wired the
+//! transformation entry points together ad hoc: every entry point
+//! re-extracted, re-normalized, and re-analyzed its nest, and the only
+//! observable output was the final program. This crate replaces that
+//! wiring with a proper driver:
+//!
+//! * [`PassManager`] — runs the standard pipeline (normalize →
+//!   perfection → interchange → advise → coalesce → strength-reduce)
+//!   over every top-level nest, then validates the rewrite against the
+//!   interpreter.
+//! * [`cache::NestAnalyses`] — memoizes nest extraction, normalization,
+//!   and dependence analysis per nest, with hit/miss counters
+//!   ([`cache::CacheStats`]); each analysis runs **at most once per
+//!   nest** per compilation.
+//! * [`trace::PipelineTrace`] — a timed, JSON-serializable record of
+//!   every pass invocation (applied / skipped-with-diagnostic /
+//!   validated), plus a human-readable [`trace::PipelineTrace::report`].
+//! * [`Driver::compile_batch`] — compiles many programs on a
+//!   self-scheduled worker pool (one shared atomic counter, in the
+//!   spirit of the paper's fetch&add dispatcher) with deterministic,
+//!   input-ordered results.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lc_driver::Driver;
+//!
+//! let out = Driver::default()
+//!     .compile(
+//!         "
+//!         array A[100][50];
+//!         doall i = 1..100 {
+//!             doall j = 1..50 {
+//!                 A[i][j] = i * j;
+//!             }
+//!         }
+//!         ",
+//!     )
+//!     .unwrap();
+//! assert!(out.transformed_source.contains("doall jc = 1..5000"));
+//! assert_eq!(out.trace.cache.deps_computed, 1); // analyzed exactly once
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod cache;
+pub mod json;
+pub mod pass;
+pub mod pipeline;
+pub mod trace;
+
+use std::fmt;
+
+use lc_ir::parser::parse_program;
+use lc_ir::program::Program;
+use lc_ir::{Result, SkipReason};
+use lc_sched::advise::AdviseParams;
+use lc_xform::coalesce::{CoalesceInfo, CoalesceOptions};
+
+pub use cache::CacheStats;
+pub use pass::{Pass, PassOutcome};
+pub use pipeline::PassManager;
+pub use trace::{PipelineTrace, TraceEvent, TraceOutcome};
+
+/// A nest the pipeline left untouched, with its typed diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skip {
+    /// Index of the nest's statement in the program body.
+    pub nest: usize,
+    /// Why the constant-path coalescing declined.
+    pub reason: SkipReason,
+    /// When the symbolic fallback was tried and also declined, its
+    /// reason.
+    pub fallback: Option<SkipReason>,
+}
+
+impl fmt::Display for Skip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.fallback {
+            Some(fb) => write!(f, "{}; symbolic fallback: {}", self.reason, fb),
+            None => write!(f, "{}", self.reason),
+        }
+    }
+}
+
+impl Skip {
+    /// Serialize as a tagged JSON object.
+    pub fn to_json(&self) -> json::Json {
+        let mut pairs = vec![
+            ("nest", json::Json::Int(self.nest as i64)),
+            ("reason", trace::skip_reason_to_json(&self.reason)),
+        ];
+        if let Some(fb) = &self.fallback {
+            pairs.push(("fallback", trace::skip_reason_to_json(fb)));
+        }
+        json::Json::obj(pairs)
+    }
+
+    /// Deserialize from [`Skip::to_json`] output.
+    pub fn from_json(v: &json::Json) -> std::result::Result<Skip, String> {
+        Ok(Skip {
+            nest: v.int_field("nest")? as usize,
+            reason: trace::skip_reason_from_json(v.field("reason")?)?,
+            fallback: match v.get("fallback") {
+                Some(fb) => Some(trace::skip_reason_from_json(fb)?),
+                None => None,
+            },
+        })
+    }
+}
+
+/// Driver configuration: the coalescing options plus which enabling
+/// passes run.
+#[derive(Debug, Clone)]
+pub struct DriverOptions {
+    /// Options forwarded to the coalescing transformation (band, scheme,
+    /// legality checking, strength reduction, …).
+    pub coalesce: CoalesceOptions,
+    /// Run the nest-perfection pass (sink imperfect statements under
+    /// first/last-iteration guards).
+    pub enable_perfection: bool,
+    /// Run the interchange pass (move serial outermost levels inward).
+    pub enable_interchange: bool,
+    /// Validate the transformed program against the interpreter.
+    pub validate: bool,
+    /// When set, the advise pass picks the best legal collapse band for
+    /// these machine parameters, overriding `coalesce.levels` per nest.
+    pub advise: Option<AdviseParams>,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            coalesce: CoalesceOptions::default(),
+            enable_perfection: true,
+            enable_interchange: true,
+            validate: true,
+            advise: None,
+        }
+    }
+}
+
+impl DriverOptions {
+    /// The configuration the `loop_coalescing` facade uses to stay
+    /// byte-compatible with the seed `coalesce_source` pipeline:
+    /// coalesce + validate only, no structural enabling passes.
+    pub fn facade_compat(coalesce: CoalesceOptions) -> Self {
+        DriverOptions {
+            coalesce,
+            enable_perfection: false,
+            enable_interchange: false,
+            validate: true,
+            advise: None,
+        }
+    }
+}
+
+/// Everything one compilation produced.
+#[derive(Debug, Clone)]
+pub struct DriverOutput {
+    /// The transformed program.
+    pub transformed: Program,
+    /// The transformed program pretty-printed as DSL source.
+    pub transformed_source: String,
+    /// Metadata for every nest that was coalesced, in body order. A nest
+    /// coalesced through the *symbolic* fallback reports empty `dims`
+    /// and zero `total_iterations`.
+    pub coalesced: Vec<CoalesceInfo>,
+    /// Nests left untouched, with typed diagnostics.
+    pub skipped: Vec<Skip>,
+    /// The timed record of every pass invocation plus cache counters.
+    pub trace: PipelineTrace,
+}
+
+/// The single entry point: a configured pass pipeline ready to compile
+/// programs (and batches of programs).
+pub struct Driver {
+    manager: PassManager,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver::new(DriverOptions::default())
+    }
+}
+
+impl Driver {
+    /// Build a driver running the standard pipeline under `options`.
+    pub fn new(options: DriverOptions) -> Self {
+        Driver {
+            manager: PassManager::standard(options),
+        }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DriverOptions {
+        self.manager.options()
+    }
+
+    /// The underlying pass manager.
+    pub fn manager(&self) -> &PassManager {
+        &self.manager
+    }
+
+    /// Parse DSL source and compile it.
+    pub fn compile(&self, src: &str) -> Result<DriverOutput> {
+        self.manager.compile_program(&parse_program(src)?)
+    }
+
+    /// Compile an already-parsed program.
+    pub fn compile_program(&self, program: &Program) -> Result<DriverOutput> {
+        self.manager.compile_program(program)
+    }
+
+    /// Compile every source in parallel on a self-scheduled worker
+    /// pool. Results preserve input order and are identical to calling
+    /// [`Driver::compile`] sequentially.
+    pub fn compile_batch<S: AsRef<str> + Sync>(&self, sources: &[S]) -> Vec<Result<DriverOutput>> {
+        batch::compile_batch(self, sources)
+    }
+}

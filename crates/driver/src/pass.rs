@@ -1,0 +1,396 @@
+//! The pass abstraction and the standard pipeline's passes.
+//!
+//! Each pass sees one top-level nest at a time through a [`PassCx`]: the
+//! driver options plus the nest's [`NestAnalyses`] cache. Passes report a
+//! [`PassOutcome`] — applied / skipped-with-diagnostic / no-op — which
+//! the [`crate::PassManager`] timestamps into the
+//! [`crate::trace::PipelineTrace`].
+//!
+//! The standard pipeline order follows the paper's presentation:
+//!
+//! 1. [`NormalizePass`] — put headers in `1..=N step 1` form (cached);
+//! 2. [`PerfectionPass`] — sink prologue/epilogue statements to perfect
+//!    the nest (guarded statement distribution);
+//! 3. [`InterchangePass`] — move a serial outermost level inward when
+//!    the level below it is parallel, so DOALL levels sit outermost;
+//! 4. [`AdvisePass`] — pick the best legal collapse band analytically;
+//! 5. [`CoalescePass`] — the transformation itself, with the symbolic
+//!    fallback for runtime trip counts;
+//! 6. [`StrengthReducePass`] — report the recovery-CSE savings.
+//!
+//! Passes 2–4 are *enabling* passes: their failures are recorded as
+//! skips, never escalated — a nest that cannot be perfected may still
+//! coalesce as-is.
+
+use lc_ir::analysis::nest::Nest;
+use lc_ir::stmt::Stmt;
+use lc_ir::{Error, Result, SkipReason};
+use lc_xform::coalesce::{coalesce_nest, CoalesceInfo, CoalesceResult};
+use lc_xform::interchange::interchange;
+use lc_xform::normalize::require_normalized;
+use lc_xform::perfect::perfect_recursively;
+use lc_xform::recovery::per_iteration_cost;
+use lc_xform::symbolic::coalesce_symbolic_nest;
+
+use crate::cache::NestAnalyses;
+use crate::{DriverOptions, Skip};
+
+/// What a pass did. Mirrors [`crate::trace::TraceOutcome`] minus the
+/// program-level `Validated` (validation is a manager step, not a pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassOutcome {
+    /// The pass rewrote something.
+    Applied {
+        /// Pass-specific count of rewrites performed.
+        rewrites: u64,
+    },
+    /// The pass declined with a diagnostic.
+    Skipped(SkipReason),
+    /// Nothing to do.
+    Noop,
+}
+
+/// Context handed to every pass: the options and this nest's memoized
+/// analyses.
+pub struct PassCx<'a> {
+    /// Driver configuration.
+    pub options: &'a DriverOptions,
+    /// Cached analyses for the nest being compiled.
+    pub cache: &'a mut NestAnalyses,
+}
+
+/// The final disposition of a nest, produced by [`CoalescePass`].
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// The nest was rewritten into these statements.
+    Coalesced {
+        /// Replacement statements (preamble + loop for the symbolic
+        /// path, a single loop otherwise).
+        stmts: Vec<Stmt>,
+        /// What the coalescing did.
+        info: CoalesceInfo,
+    },
+    /// The nest is left untouched, with the diagnostic.
+    Skipped(Skip),
+}
+
+/// Mutable per-nest state threaded through the pipeline.
+#[derive(Debug)]
+pub struct NestState {
+    /// Index of the nest's statement in the program body.
+    pub index: usize,
+    /// Band chosen by [`AdvisePass`], overriding the configured band.
+    pub band_override: Option<(usize, usize)>,
+    /// Set once [`CoalescePass`] decides; later passes become no-ops.
+    pub decision: Option<Decision>,
+}
+
+impl NestState {
+    /// Fresh state for the nest at body position `index`.
+    pub fn new(index: usize) -> Self {
+        NestState {
+            index,
+            band_override: None,
+            decision: None,
+        }
+    }
+}
+
+/// A pipeline pass. Implementations must be stateless (`&self`) so one
+/// [`crate::PassManager`] can serve concurrent batch workers.
+pub trait Pass: Send + Sync {
+    /// Stable name used in traces and reports.
+    fn name(&self) -> &'static str;
+    /// Run over one nest. `Err` aborts the whole compilation; passes
+    /// that merely cannot apply return `Ok(PassOutcome::Skipped(..))`.
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome>;
+}
+
+/// Pass 1: loop normalization (via the analysis cache).
+///
+/// Reports how many headers needed rewriting; a symbolic-bound failure
+/// is recorded here but the final constant-vs-symbolic routing happens
+/// in [`CoalescePass`], exactly as in the facade pipeline.
+pub struct NormalizePass;
+
+impl Pass for NormalizePass {
+    fn name(&self) -> &'static str {
+        "normalize"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if state.decision.is_some() {
+            return Ok(PassOutcome::Noop);
+        }
+        if !cx.options.coalesce.auto_normalize {
+            // The caller promised normalized input; just check.
+            return match require_normalized(&cx.cache.nest().loops) {
+                Ok(()) => Ok(PassOutcome::Noop),
+                Err(Error::Unsupported(r)) => Ok(PassOutcome::Skipped(r)),
+                Err(e) => Err(e),
+            };
+        }
+        let unnormalized = cx
+            .cache
+            .nest()
+            .loops
+            .iter()
+            .filter(|h| !h.is_normalized())
+            .count() as u64;
+        match cx.cache.normalized() {
+            Ok(_) if unnormalized == 0 => Ok(PassOutcome::Noop),
+            Ok(_) => Ok(PassOutcome::Applied {
+                rewrites: unnormalized,
+            }),
+            Err(Error::Unsupported(r)) => Ok(PassOutcome::Skipped(r)),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Pass 2: nest perfection (sink prologue/epilogue statements into the
+/// inner loop under first/last-iteration guards). Structural: a rewrite
+/// invalidates the nest's cached analyses.
+pub struct PerfectionPass;
+
+impl Pass for PerfectionPass {
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if state.decision.is_some() || !cx.options.enable_perfection {
+            return Ok(PassOutcome::Noop);
+        }
+        match perfect_recursively(cx.cache.current()) {
+            Ok(p) if p == *cx.cache.current() => Ok(PassOutcome::Noop),
+            Ok(p) => {
+                cx.cache.rewrite(p);
+                Ok(PassOutcome::Applied { rewrites: 1 })
+            }
+            Err(Error::Unsupported(r)) => Ok(PassOutcome::Skipped(r)),
+            // An enabling pass never aborts the compilation: an
+            // unperfectable nest may still coalesce (or skip) as-is.
+            Err(e) => Ok(PassOutcome::Skipped(SkipReason::Other(e.to_string()))),
+        }
+    }
+}
+
+/// Pass 3: loop interchange. When the outermost level carries a
+/// dependence but the level below it is parallel, swap them so the
+/// parallel level moves outward — the classical enabling step the paper
+/// positions coalescing against. Structural: invalidates the cache.
+pub struct InterchangePass;
+
+impl Pass for InterchangePass {
+    fn name(&self) -> &'static str {
+        "interchange"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if state.decision.is_some() || !cx.options.enable_interchange {
+            return Ok(PassOutcome::Noop);
+        }
+        let depth = cx.cache.nest().depth();
+        if depth < 2 || cx.cache.normalized().is_err() {
+            // Depth-1 or symbolic nests: nothing to interchange here.
+            return Ok(PassOutcome::Noop);
+        }
+        let carried: Vec<bool> = match cx.cache.deps() {
+            Ok(d) => (0..depth).map(|k| d.carried_at(k)).collect(),
+            // Let the coalesce pass surface analysis problems.
+            Err(_) => return Ok(PassOutcome::Noop),
+        };
+        let Some(level) = (0..depth - 1).find(|&k| carried[k] && !carried[k + 1]) else {
+            return Ok(PassOutcome::Noop);
+        };
+        match interchange(cx.cache.current(), level) {
+            Ok(l) => {
+                cx.cache.rewrite(l);
+                Ok(PassOutcome::Applied { rewrites: 1 })
+            }
+            Err(Error::Unsupported(r)) => Ok(PassOutcome::Skipped(r)),
+            Err(e) => Ok(PassOutcome::Skipped(SkipReason::Other(e.to_string()))),
+        }
+    }
+}
+
+/// Pass 4: analytic band advice (only when [`DriverOptions::advise`] is
+/// set). Evaluates every contiguous DOALL-legal band under the machine
+/// model and overrides the configured band with the winner.
+pub struct AdvisePass;
+
+impl Pass for AdvisePass {
+    fn name(&self) -> &'static str {
+        "advise"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if state.decision.is_some() {
+            return Ok(PassOutcome::Noop);
+        }
+        let Some(params) = &cx.options.advise else {
+            return Ok(PassOutcome::Noop);
+        };
+        let dims = match cx.cache.normalized() {
+            Ok(n) => match n.trip_counts() {
+                Some(d) => d,
+                None => return Ok(PassOutcome::Skipped(SkipReason::SymbolicBounds)),
+            },
+            Err(_) => return Ok(PassOutcome::Skipped(SkipReason::SymbolicBounds)),
+        };
+        let legal: Vec<bool> = match cx.cache.deps() {
+            Ok(d) => (0..dims.len()).map(|k| !d.carried_at(k)).collect(),
+            Err(_) => return Ok(PassOutcome::Noop),
+        };
+        if !legal.iter().any(|&x| x) {
+            return Ok(PassOutcome::Skipped(SkipReason::NothingLegal));
+        }
+        let scheme = cx.options.coalesce.scheme;
+        let advice = lc_sched::advise::advise(&dims, &legal, params, &|band| {
+            per_iteration_cost(scheme, band)
+        });
+        state.band_override = Some(advice.band);
+        Ok(PassOutcome::Applied {
+            rewrites: (advice.band.1 - advice.band.0) as u64,
+        })
+    }
+}
+
+/// Pass 5: the coalescing transformation, constant path first with the
+/// symbolic fallback — byte-for-byte the facade pipeline's routing, but
+/// with every analysis drawn from the cache instead of recomputed.
+pub struct CoalescePass;
+
+impl CoalescePass {
+    /// Run the constant-trip-count path with cached analyses. Replicates
+    /// `coalesce_loop` = normalize (cached) + `coalesce_nest`, injecting
+    /// the cached dependence analysis exactly when `coalesce_nest` would
+    /// compute one (legality checking on, band valid).
+    fn constant_path(
+        cx: &mut PassCx<'_>,
+        opts: &lc_xform::coalesce::CoalesceOptions,
+        depth: usize,
+    ) -> Result<CoalesceResult> {
+        let (s, e) = opts.levels.unwrap_or((0, depth));
+        let valid_band = s < e && e <= depth;
+        if opts.auto_normalize {
+            cx.cache.normalized()?;
+        } else {
+            require_normalized(&cx.cache.nest().loops)?;
+        }
+        let needs_deps = opts.check_legality && valid_band;
+        if needs_deps {
+            cx.cache.deps()?;
+        }
+        let nest: &Nest = if opts.auto_normalize {
+            cx.cache.normalized_ref()
+        } else {
+            cx.cache.nest_ref()
+        };
+        let deps = if needs_deps {
+            Some(cx.cache.deps_ref())
+        } else {
+            None
+        };
+        coalesce_nest(nest, deps, opts)
+    }
+}
+
+impl Pass for CoalescePass {
+    fn name(&self) -> &'static str {
+        "coalesce"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if state.decision.is_some() {
+            return Ok(PassOutcome::Noop);
+        }
+        let depth = cx.cache.nest().depth();
+        let mut opts = cx.options.coalesce.clone().clamped_to_depth(depth);
+        if let Some(band) = state.band_override {
+            opts.levels = Some(band);
+        }
+        let band = opts.levels.unwrap_or((0, depth));
+        let width = band.1.saturating_sub(band.0) as u64;
+
+        match Self::constant_path(cx, &opts, depth) {
+            Ok(result) => {
+                state.decision = Some(Decision::Coalesced {
+                    stmts: vec![Stmt::Loop(result.transformed)],
+                    info: result.info,
+                });
+                Ok(PassOutcome::Applied { rewrites: width })
+            }
+            Err(Error::Unsupported(reason)) if reason.is_symbolic() => {
+                // Constant-bound coalescing needs trip counts; fall back
+                // to the symbolic path (runtime stride computation).
+                match coalesce_symbolic_nest(cx.cache.nest_ref(), None, &opts) {
+                    Ok(sym) => {
+                        let info = CoalesceInfo {
+                            dims: Vec::new(),
+                            total_iterations: 0,
+                            scheme: opts.scheme,
+                            recovery_cost_per_iteration: 0,
+                            levels: opts.levels.unwrap_or((0, depth)),
+                            original_depth: depth,
+                            coalesced_var: sym.coalesced_var.clone(),
+                        };
+                        state.decision = Some(Decision::Coalesced {
+                            stmts: sym.stmts(),
+                            info,
+                        });
+                        Ok(PassOutcome::Applied { rewrites: width })
+                    }
+                    Err(Error::Unsupported(fallback)) => {
+                        state.decision = Some(Decision::Skipped(Skip {
+                            nest: state.index,
+                            reason: reason.clone(),
+                            fallback: Some(fallback),
+                        }));
+                        Ok(PassOutcome::Skipped(reason))
+                    }
+                    Err(other) => Err(other),
+                }
+            }
+            Err(Error::Unsupported(reason)) => {
+                state.decision = Some(Decision::Skipped(Skip {
+                    nest: state.index,
+                    reason: reason.clone(),
+                    fallback: None,
+                }));
+                Ok(PassOutcome::Skipped(reason))
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
+/// Pass 6: recovery strength reduction reporting.
+///
+/// The common-subexpression extraction over recovery statements is fused
+/// into `coalesce_nest`'s emission (it needs the fresh-temp namespace
+/// computed there), so this pass does not rewrite — it reports the
+/// per-iteration cost units the CSE saved, making the paper's
+/// strength-reduction remark visible in the trace.
+pub struct StrengthReducePass;
+
+impl Pass for StrengthReducePass {
+    fn name(&self) -> &'static str {
+        "strength-reduce"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if !cx.options.coalesce.strength_reduce {
+            return Ok(PassOutcome::Noop);
+        }
+        match &state.decision {
+            Some(Decision::Coalesced { info, .. }) if !info.dims.is_empty() => {
+                let naive = per_iteration_cost(info.scheme, &info.dims);
+                let saved = naive.saturating_sub(info.recovery_cost_per_iteration);
+                Ok(PassOutcome::Applied { rewrites: saved })
+            }
+            _ => Ok(PassOutcome::Noop),
+        }
+    }
+}

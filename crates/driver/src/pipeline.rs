@@ -1,0 +1,143 @@
+//! The [`PassManager`]: runs the standard pass pipeline over a program,
+//! timing every pass invocation into a [`PipelineTrace`].
+
+use std::time::Instant;
+
+use lc_ir::printer::print_program;
+use lc_ir::program::Program;
+use lc_ir::stmt::Stmt;
+use lc_ir::Result;
+use lc_xform::validate::check_equivalent;
+
+use crate::cache::NestAnalyses;
+use crate::pass::{
+    AdvisePass, CoalescePass, Decision, InterchangePass, NestState, NormalizePass, Pass, PassCx,
+    PerfectionPass, StrengthReducePass,
+};
+use crate::trace::{PipelineTrace, TraceEvent, TraceOutcome};
+use crate::{DriverOptions, DriverOutput};
+
+/// Seed for the pipeline's built-in equivalence check — the same value
+/// the facade has used since the seed commit, so validation remains
+/// deterministic and comparable.
+pub const VALIDATE_SEED: u64 = 0xC0A1E5CE;
+
+/// Runs the pass pipeline over whole programs.
+///
+/// The manager is immutable after construction (passes are stateless),
+/// so one instance can serve many compilations — including concurrently
+/// from [`crate::batch::compile_batch`] workers.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    options: DriverOptions,
+}
+
+impl PassManager {
+    /// The standard pipeline: normalize → perfect → interchange →
+    /// advise → coalesce → strength-reduce. Which passes *act* is
+    /// governed by `options`; every pass is still invoked and traced.
+    pub fn standard(options: DriverOptions) -> Self {
+        PassManager {
+            passes: vec![
+                Box::new(NormalizePass),
+                Box::new(PerfectionPass),
+                Box::new(InterchangePass),
+                Box::new(AdvisePass),
+                Box::new(CoalescePass),
+                Box::new(StrengthReducePass),
+            ],
+            options,
+        }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DriverOptions {
+        &self.options
+    }
+
+    /// Names of the pipeline's passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Compile one program: run every pass over every top-level loop
+    /// nest, validate the rewrite, and return the transformed program
+    /// with its diagnostics and trace.
+    pub fn compile_program(&self, original: &Program) -> Result<DriverOutput> {
+        let t0 = Instant::now();
+        let mut transformed = original.clone();
+        transformed.body.clear();
+        let mut coalesced = Vec::new();
+        let mut skipped = Vec::new();
+        let mut trace = PipelineTrace::default();
+
+        for (idx, stmt) in original.body.iter().enumerate() {
+            let Stmt::Loop(l) = stmt else {
+                transformed.body.push(stmt.clone());
+                continue;
+            };
+            let mut cache = NestAnalyses::new(l);
+            let mut state = NestState::new(idx);
+            for pass in &self.passes {
+                let start = Instant::now();
+                let outcome = {
+                    let mut cx = PassCx {
+                        options: &self.options,
+                        cache: &mut cache,
+                    };
+                    pass.run(&mut state, &mut cx)?
+                };
+                trace.events.push(TraceEvent {
+                    nest: Some(idx),
+                    pass: pass.name().to_string(),
+                    outcome: match outcome {
+                        crate::pass::PassOutcome::Applied { rewrites } => {
+                            TraceOutcome::Applied { rewrites }
+                        }
+                        crate::pass::PassOutcome::Skipped(reason) => {
+                            TraceOutcome::Skipped { reason }
+                        }
+                        crate::pass::PassOutcome::Noop => TraceOutcome::Noop,
+                    },
+                    nanos: start.elapsed().as_nanos().max(1) as u64,
+                });
+            }
+            trace.cache.absorb(&cache.stats);
+            match state.decision {
+                Some(Decision::Coalesced { stmts, info }) => {
+                    transformed.body.extend(stmts);
+                    coalesced.push(info);
+                }
+                Some(Decision::Skipped(skip)) => {
+                    transformed.body.push(stmt.clone());
+                    skipped.push(skip);
+                }
+                // Defensive: the coalesce pass always decides, but an
+                // undecided nest must never be dropped from the output.
+                None => transformed.body.push(stmt.clone()),
+            }
+        }
+
+        // Belt and braces: the rewritten program must agree with the
+        // original (same policy and seed as the seed pipeline).
+        if self.options.validate && !coalesced.is_empty() {
+            let start = Instant::now();
+            check_equivalent(original, &transformed, VALIDATE_SEED)?;
+            trace.events.push(TraceEvent {
+                nest: None,
+                pass: "validate".to_string(),
+                outcome: TraceOutcome::Validated,
+                nanos: start.elapsed().as_nanos().max(1) as u64,
+            });
+        }
+
+        trace.total_nanos = t0.elapsed().as_nanos().max(1) as u64;
+        Ok(DriverOutput {
+            transformed_source: print_program(&transformed),
+            transformed,
+            coalesced,
+            skipped,
+            trace,
+        })
+    }
+}

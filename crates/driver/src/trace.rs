@@ -1,0 +1,463 @@
+//! Per-pass observability: timed, serializable pipeline traces.
+//!
+//! Every pass invocation the [`crate::PassManager`] makes is recorded as
+//! a [`TraceEvent`]: which nest, which pass, what happened
+//! ([`TraceOutcome`]), and how long it took (nanoseconds, clamped to a
+//! minimum of 1 so "this pass ran" is always distinguishable from "this
+//! pass never ran"). The whole [`PipelineTrace`] serializes to JSON (see
+//! [`crate::json`] for why not serde) and back, and renders as a
+//! human-readable report.
+
+use std::fmt::Write as _;
+
+use lc_ir::{BoundPart, SkipReason, Symbol};
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+
+/// What a pass did to one nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The pass rewrote something; `rewrites` counts the pass's own unit
+    /// of work (headers normalized, levels coalesced, cost units saved).
+    Applied {
+        /// Pass-specific rewrite count.
+        rewrites: u64,
+    },
+    /// The pass declined, with a typed diagnostic.
+    Skipped {
+        /// Why the pass did not apply.
+        reason: SkipReason,
+    },
+    /// The pass ran and had nothing to do.
+    Noop,
+    /// A validation step ran and the program passed.
+    Validated,
+}
+
+/// One timed pass invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Index of the nest in the program body, or `None` for
+    /// program-level steps (validation).
+    pub nest: Option<usize>,
+    /// Pass name (`"normalize"`, `"coalesce"`, …).
+    pub pass: String,
+    /// What happened.
+    pub outcome: TraceOutcome,
+    /// Wall time of the invocation in nanoseconds (always ≥ 1).
+    pub nanos: u64,
+}
+
+/// The full record of one compilation: every pass event, the aggregated
+/// analysis-cache counters, and total wall time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineTrace {
+    /// Pass events in execution order.
+    pub events: Vec<TraceEvent>,
+    /// Analysis-cache counters summed over all nests.
+    pub cache: CacheStats,
+    /// Total wall time of the compilation in nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl PipelineTrace {
+    /// Distinct pass names in first-seen order.
+    pub fn passes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if !out.contains(&e.pass.as_str()) {
+                out.push(&e.pass);
+            }
+        }
+        out
+    }
+
+    /// Events recorded for one nest.
+    pub fn events_for(&self, nest: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.nest == Some(nest))
+    }
+
+    /// Names of passes that reported [`TraceOutcome::Applied`] on `nest`.
+    pub fn applied_passes(&self, nest: usize) -> Vec<&str> {
+        self.events_for(nest)
+            .filter(|e| matches!(e.outcome, TraceOutcome::Applied { .. }))
+            .map(|e| e.pass.as_str())
+            .collect()
+    }
+
+    /// Total rewrites reported by a pass across all nests.
+    pub fn rewrites(&self, pass: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.pass == pass)
+            .map(|e| match e.outcome {
+                TraceOutcome::Applied { rewrites } => rewrites,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total time spent in a pass (nanoseconds) across all nests.
+    pub fn pass_nanos(&self, pass: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.pass == pass)
+            .map(|e| e.nanos)
+            .sum()
+    }
+
+    /// Render a human-readable report: one line per event plus per-pass
+    /// and cache summaries.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "pipeline trace ({} events)", self.events.len());
+        for e in &self.events {
+            let where_ = match e.nest {
+                Some(n) => format!("nest {n}"),
+                None => "program".to_string(),
+            };
+            let what = match &e.outcome {
+                TraceOutcome::Applied { rewrites } => format!("applied ({rewrites} rewrites)"),
+                TraceOutcome::Skipped { reason } => format!("skipped: {reason}"),
+                TraceOutcome::Noop => "no-op".to_string(),
+                TraceOutcome::Validated => "validated".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<16} {:>10}ns  {}",
+                where_, e.pass, e.nanos, what
+            );
+        }
+        let _ = writeln!(out, "per-pass totals:");
+        for pass in self.passes() {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10}ns  {} rewrites",
+                pass,
+                self.pass_nanos(pass),
+                self.rewrites(pass)
+            );
+        }
+        let c = &self.cache;
+        let _ = writeln!(
+            out,
+            "analysis cache: nest {}+{}h, normalize {}+{}h, deps {}+{}h",
+            c.nest_computed,
+            c.nest_hits,
+            c.normalize_computed,
+            c.normalize_hits,
+            c.deps_computed,
+            c.deps_hits
+        );
+        let _ = writeln!(out, "total: {}ns", self.total_nanos);
+        out
+    }
+
+    /// Serialize the trace to a JSON document.
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    (
+                        "nest",
+                        match e.nest {
+                            Some(n) => Json::Int(n as i64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("pass", Json::Str(e.pass.clone())),
+                    ("outcome", outcome_to_json(&e.outcome)),
+                    ("nanos", Json::Int(e.nanos as i64)),
+                ])
+            })
+            .collect();
+        let c = &self.cache;
+        Json::obj(vec![
+            ("events", Json::Arr(events)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("nest_computed", Json::Int(c.nest_computed as i64)),
+                    ("nest_hits", Json::Int(c.nest_hits as i64)),
+                    ("normalize_computed", Json::Int(c.normalize_computed as i64)),
+                    ("normalize_hits", Json::Int(c.normalize_hits as i64)),
+                    ("deps_computed", Json::Int(c.deps_computed as i64)),
+                    ("deps_hits", Json::Int(c.deps_hits as i64)),
+                ]),
+            ),
+            ("total_nanos", Json::Int(self.total_nanos as i64)),
+        ])
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Deserialize a trace from [`PipelineTrace::to_json`] output.
+    pub fn from_json(v: &Json) -> Result<PipelineTrace, String> {
+        let mut events = Vec::new();
+        for e in v
+            .field("events")?
+            .as_arr()
+            .ok_or("`events` is not an array")?
+        {
+            let nest = match e.field("nest")? {
+                Json::Null => None,
+                Json::Int(n) => Some(*n as usize),
+                _ => return Err("`nest` must be null or an integer".into()),
+            };
+            events.push(TraceEvent {
+                nest,
+                pass: e.str_field("pass")?.to_string(),
+                outcome: outcome_from_json(e.field("outcome")?)?,
+                nanos: e.int_field("nanos")? as u64,
+            });
+        }
+        let c = v.field("cache")?;
+        let cache = CacheStats {
+            nest_computed: c.int_field("nest_computed")? as u64,
+            nest_hits: c.int_field("nest_hits")? as u64,
+            normalize_computed: c.int_field("normalize_computed")? as u64,
+            normalize_hits: c.int_field("normalize_hits")? as u64,
+            deps_computed: c.int_field("deps_computed")? as u64,
+            deps_hits: c.int_field("deps_hits")? as u64,
+        };
+        Ok(PipelineTrace {
+            events,
+            cache,
+            total_nanos: v.int_field("total_nanos")? as u64,
+        })
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json_string(src: &str) -> Result<PipelineTrace, String> {
+        PipelineTrace::from_json(&Json::parse(src)?)
+    }
+}
+
+fn outcome_to_json(o: &TraceOutcome) -> Json {
+    match o {
+        TraceOutcome::Applied { rewrites } => Json::obj(vec![
+            ("kind", Json::Str("applied".into())),
+            ("rewrites", Json::Int(*rewrites as i64)),
+        ]),
+        TraceOutcome::Skipped { reason } => Json::obj(vec![
+            ("kind", Json::Str("skipped".into())),
+            ("reason", skip_reason_to_json(reason)),
+        ]),
+        TraceOutcome::Noop => Json::obj(vec![("kind", Json::Str("noop".into()))]),
+        TraceOutcome::Validated => Json::obj(vec![("kind", Json::Str("validated".into()))]),
+    }
+}
+
+fn outcome_from_json(v: &Json) -> Result<TraceOutcome, String> {
+    match v.str_field("kind")? {
+        "applied" => Ok(TraceOutcome::Applied {
+            rewrites: v.int_field("rewrites")? as u64,
+        }),
+        "skipped" => Ok(TraceOutcome::Skipped {
+            reason: skip_reason_from_json(v.field("reason")?)?,
+        }),
+        "noop" => Ok(TraceOutcome::Noop),
+        "validated" => Ok(TraceOutcome::Validated),
+        other => Err(format!("unknown outcome kind `{other}`")),
+    }
+}
+
+fn bound_part_str(p: BoundPart) -> &'static str {
+    match p {
+        BoundPart::Lower => "lower",
+        BoundPart::Upper => "upper",
+        BoundPart::Step => "step",
+    }
+}
+
+/// Serialize a [`SkipReason`] as a tagged JSON object.
+pub fn skip_reason_to_json(r: &SkipReason) -> Json {
+    let kind = |k: &str| ("kind", Json::Str(k.into()));
+    let sym = |k: &'static str, s: &Symbol| (k, Json::Str(s.as_str().into()));
+    match r {
+        SkipReason::BandOutOfRange { start, end, depth } => Json::obj(vec![
+            kind("band-out-of-range"),
+            ("start", Json::Int(*start as i64)),
+            ("end", Json::Int(*end as i64)),
+            ("depth", Json::Int(*depth as i64)),
+        ]),
+        SkipReason::CarriedDependence { level, var } => Json::obj(vec![
+            kind("carried-dependence"),
+            ("level", Json::Int(*level as i64)),
+            sym("var", var),
+        ]),
+        SkipReason::NotDoall { var } => Json::obj(vec![kind("not-doall"), sym("var", var)]),
+        SkipReason::NotDoallUnchecked => Json::obj(vec![kind("not-doall-unchecked")]),
+        SkipReason::ScalarReduction { var } => {
+            Json::obj(vec![kind("scalar-reduction"), sym("var", var)])
+        }
+        SkipReason::SymbolicBound { var, part } => Json::obj(vec![
+            kind("symbolic-bound"),
+            sym("var", var),
+            ("part", Json::Str(bound_part_str(*part).into())),
+        ]),
+        SkipReason::SymbolicBounds => Json::obj(vec![kind("symbolic-bounds")]),
+        SkipReason::NotNormalized { var } => {
+            Json::obj(vec![kind("not-normalized"), sym("var", var)])
+        }
+        SkipReason::NotUnitNormalized { var } => {
+            Json::obj(vec![kind("not-unit-normalized"), sym("var", var)])
+        }
+        SkipReason::VariantBound { var, dep } => Json::obj(vec![
+            kind("variant-bound"),
+            sym("var", var),
+            sym("dep", dep),
+        ]),
+        SkipReason::InterchangeOutOfRange { level, depth } => Json::obj(vec![
+            kind("interchange-out-of-range"),
+            ("level", Json::Int(*level as i64)),
+            ("depth", Json::Int(*depth as i64)),
+        ]),
+        SkipReason::NotRectangular { var, other } => Json::obj(vec![
+            kind("not-rectangular"),
+            sym("var", var),
+            sym("other", other),
+        ]),
+        SkipReason::InterchangeIllegal { level, array } => Json::obj(vec![
+            kind("interchange-illegal"),
+            ("level", Json::Int(*level as i64)),
+            sym("array", array),
+        ]),
+        SkipReason::ImperfectNest { found } => Json::obj(vec![
+            kind("imperfect-nest"),
+            ("found", Json::Int(*found as i64)),
+        ]),
+        SkipReason::NothingLegal => Json::obj(vec![kind("nothing-legal")]),
+        SkipReason::Other(m) => Json::obj(vec![kind("other"), ("message", Json::Str(m.clone()))]),
+        // `SkipReason` is #[non_exhaustive]; future variants degrade to a
+        // message-only encoding rather than failing to serialize.
+        other => Json::obj(vec![
+            kind("other"),
+            ("message", Json::Str(other.to_string())),
+        ]),
+    }
+}
+
+/// Deserialize a [`SkipReason`] from [`skip_reason_to_json`] output.
+pub fn skip_reason_from_json(v: &Json) -> Result<SkipReason, String> {
+    let var = |k: &str| -> Result<Symbol, String> { Ok(Symbol::new(v.str_field(k)?)) };
+    Ok(match v.str_field("kind")? {
+        "band-out-of-range" => SkipReason::BandOutOfRange {
+            start: v.int_field("start")? as usize,
+            end: v.int_field("end")? as usize,
+            depth: v.int_field("depth")? as usize,
+        },
+        "carried-dependence" => SkipReason::CarriedDependence {
+            level: v.int_field("level")? as usize,
+            var: var("var")?,
+        },
+        "not-doall" => SkipReason::NotDoall { var: var("var")? },
+        "not-doall-unchecked" => SkipReason::NotDoallUnchecked,
+        "scalar-reduction" => SkipReason::ScalarReduction { var: var("var")? },
+        "symbolic-bound" => SkipReason::SymbolicBound {
+            var: var("var")?,
+            part: match v.str_field("part")? {
+                "lower" => BoundPart::Lower,
+                "upper" => BoundPart::Upper,
+                "step" => BoundPart::Step,
+                p => return Err(format!("unknown bound part `{p}`")),
+            },
+        },
+        "symbolic-bounds" => SkipReason::SymbolicBounds,
+        "not-normalized" => SkipReason::NotNormalized { var: var("var")? },
+        "not-unit-normalized" => SkipReason::NotUnitNormalized { var: var("var")? },
+        "variant-bound" => SkipReason::VariantBound {
+            var: var("var")?,
+            dep: var("dep")?,
+        },
+        "interchange-out-of-range" => SkipReason::InterchangeOutOfRange {
+            level: v.int_field("level")? as usize,
+            depth: v.int_field("depth")? as usize,
+        },
+        "not-rectangular" => SkipReason::NotRectangular {
+            var: var("var")?,
+            other: var("other")?,
+        },
+        "interchange-illegal" => SkipReason::InterchangeIllegal {
+            level: v.int_field("level")? as usize,
+            array: var("array")?,
+        },
+        "imperfect-nest" => SkipReason::ImperfectNest {
+            found: v.int_field("found")? as usize,
+        },
+        "nothing-legal" => SkipReason::NothingLegal,
+        "other" => SkipReason::Other(v.str_field("message")?.to_string()),
+        other => return Err(format!("unknown skip reason kind `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let trace = PipelineTrace {
+            events: vec![
+                TraceEvent {
+                    nest: Some(0),
+                    pass: "normalize".into(),
+                    outcome: TraceOutcome::Applied { rewrites: 2 },
+                    nanos: 120,
+                },
+                TraceEvent {
+                    nest: Some(0),
+                    pass: "coalesce".into(),
+                    outcome: TraceOutcome::Skipped {
+                        reason: SkipReason::CarriedDependence {
+                            level: 1,
+                            var: Symbol::new("i"),
+                        },
+                    },
+                    nanos: 340,
+                },
+                TraceEvent {
+                    nest: None,
+                    pass: "validate".into(),
+                    outcome: TraceOutcome::Validated,
+                    nanos: 999,
+                },
+            ],
+            cache: CacheStats {
+                nest_computed: 1,
+                nest_hits: 3,
+                normalize_computed: 1,
+                normalize_hits: 2,
+                deps_computed: 1,
+                deps_hits: 1,
+            },
+            total_nanos: 5000,
+        };
+        let text = trace.to_json_string();
+        assert_eq!(PipelineTrace::from_json_string(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn report_mentions_every_pass() {
+        let trace = PipelineTrace {
+            events: vec![TraceEvent {
+                nest: Some(0),
+                pass: "coalesce".into(),
+                outcome: TraceOutcome::Applied { rewrites: 2 },
+                nanos: 10,
+            }],
+            cache: CacheStats::default(),
+            total_nanos: 10,
+        };
+        let report = trace.report();
+        assert!(report.contains("coalesce"));
+        assert!(report.contains("2 rewrites"));
+        assert!(report.contains("analysis cache"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Integration tests for the pass driver: trace fidelity, cache
+//! counters, batch determinism, and diagnostic serialization.
+
+use lc_driver::json::Json;
+use lc_driver::trace::{skip_reason_from_json, skip_reason_to_json};
+use lc_driver::{Driver, DriverOptions, Skip, TraceOutcome};
+use lc_ir::{BoundPart, SkipReason, Symbol};
+use lc_xform::coalesce::CoalesceOptions;
+
+const QUICKSTART: &str = "
+    array A[100][50];
+    doall i = 1..100 {
+        doall j = 1..50 {
+            A[i][j] = i * j;
+        }
+    }
+";
+
+const RECURRENCE: &str = "
+    array A[8];
+    array B[4][4];
+    for i = 2..8 {
+        A[i] = A[i - 1] + 1;
+    }
+    doall i = 1..4 {
+        doall j = 1..4 {
+            B[i][j] = i * j;
+        }
+    }
+";
+
+// ── trace fidelity ──────────────────────────────────────────────────────
+
+#[test]
+fn trace_lists_every_pass_with_nonzero_timing() {
+    let driver = Driver::default();
+    let out = driver.compile(QUICKSTART).unwrap();
+    let expected = driver.manager().pass_names();
+    let traced = out.trace.passes();
+    for pass in &expected {
+        assert!(traced.contains(pass), "pass `{pass}` missing from trace");
+    }
+    assert!(traced.contains(&"validate"), "validation step not traced");
+    for e in &out.trace.events {
+        assert!(e.nanos > 0, "pass `{}` has zero timing", e.pass);
+    }
+    assert!(out.trace.total_nanos > 0);
+}
+
+#[test]
+fn trace_applied_events_match_what_happened() {
+    let out = Driver::default().compile(RECURRENCE).unwrap();
+    // Nest 0 (the recurrence) skips at the coalesce pass — only its
+    // header normalization (2..8 → 1..7) applies; nest 1 coalesces.
+    assert_eq!(out.trace.applied_passes(0), vec!["normalize"]);
+    assert!(out.trace.events_for(0).any(|e| e.pass == "coalesce"
+        && matches!(
+            &e.outcome,
+            TraceOutcome::Skipped {
+                reason: SkipReason::CarriedDependence { level: 0, .. }
+            }
+        )));
+    assert_eq!(out.trace.applied_passes(1), vec!["coalesce"]);
+    // Coalesce rewrote both levels of nest 1.
+    assert_eq!(out.trace.rewrites("coalesce"), 2);
+    // The program-level validation ran and passed.
+    assert!(out
+        .trace
+        .events
+        .iter()
+        .any(|e| e.nest.is_none() && e.outcome == TraceOutcome::Validated));
+}
+
+#[test]
+fn trace_round_trips_through_json_for_a_real_compilation() {
+    let out = Driver::default().compile(RECURRENCE).unwrap();
+    let text = out.trace.to_json_string();
+    let back = lc_driver::PipelineTrace::from_json_string(&text).unwrap();
+    assert_eq!(back, out.trace);
+    // And the report mentions every traced pass.
+    let report = out.trace.report();
+    for pass in out.trace.passes() {
+        assert!(report.contains(pass));
+    }
+}
+
+// ── analysis cache ──────────────────────────────────────────────────────
+
+#[test]
+fn dependence_analysis_runs_at_most_once_per_nest() {
+    // Default pipeline: the interchange pass requests deps first, the
+    // coalesce pass reuses them from the cache.
+    let out = Driver::default().compile(QUICKSTART).unwrap();
+    assert_eq!(out.trace.cache.deps_computed, 1);
+    assert!(out.trace.cache.deps_hits >= 1, "coalesce missed the cache");
+    assert_eq!(out.trace.cache.normalize_computed, 1);
+    assert!(out.trace.cache.normalize_hits >= 1);
+    assert_eq!(out.trace.cache.nest_computed, 1);
+}
+
+#[test]
+fn cache_counters_scale_per_nest() {
+    let out = Driver::default().compile(RECURRENCE).unwrap();
+    // Two nests, each analyzed exactly once.
+    assert_eq!(out.trace.cache.deps_computed, 2);
+    assert_eq!(out.trace.cache.normalize_computed, 2);
+    assert_eq!(out.trace.cache.nest_computed, 2);
+    assert!(out.trace.cache.hits() > 0);
+}
+
+#[test]
+fn symbolic_nests_never_reach_dependence_analysis_twice() {
+    let out = Driver::default()
+        .compile(
+            "
+            array A[12][9];
+            n = 12;
+            m = 9;
+            doall i = 1..n {
+                doall j = 1..m {
+                    A[i][j] = i * 100 + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+    assert_eq!(out.coalesced.len(), 1);
+    assert!(out.coalesced[0].dims.is_empty(), "took the symbolic path");
+    // The cached (normalized-nest) analysis never runs for a symbolic
+    // nest; the symbolic path's own analysis runs once inside lc-xform.
+    assert_eq!(out.trace.cache.deps_computed, 0);
+}
+
+// ── facade equivalence ──────────────────────────────────────────────────
+
+#[test]
+fn default_driver_matches_facade_output_on_quickstart() {
+    let driver_out = Driver::default().compile(QUICKSTART).unwrap();
+    let compat_out = Driver::new(DriverOptions::facade_compat(CoalesceOptions::default()))
+        .compile(QUICKSTART)
+        .unwrap();
+    assert_eq!(driver_out.transformed_source, compat_out.transformed_source);
+    assert!(driver_out.transformed_source.contains("doall jc = 1..5000"));
+}
+
+// ── batch compilation ───────────────────────────────────────────────────
+
+fn batch_sources() -> Vec<String> {
+    // 72 programs with varying shapes: mostly coalescible, some with
+    // carried dependences, some symbolic.
+    (0..72)
+        .map(|k| {
+            let n = 2 + (k % 7);
+            let m = 3 + (k % 5);
+            match k % 3 {
+                0 => format!(
+                    "array A[{n}][{m}];
+                     doall i = 1..{n} {{
+                         doall j = 1..{m} {{
+                             A[i][j] = i * {k} + j;
+                         }}
+                     }}"
+                ),
+                1 => format!(
+                    "array A[{n}][{m}];
+                     array B[{n}];
+                     for i = 2..{n} {{
+                         B[i] = B[i - 1] + {k};
+                     }}
+                     doall i = 1..{n} {{
+                         doall j = 1..{m} {{
+                             A[i][j] = i + j;
+                         }}
+                     }}"
+                ),
+                _ => format!(
+                    "array A[{n}][{m}];
+                     u = {n};
+                     v = {m};
+                     doall i = 1..u {{
+                         doall j = 1..v {{
+                             A[i][j] = i * j + {k};
+                         }}
+                     }}"
+                ),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batch_matches_sequential_compilation_byte_for_byte() {
+    let sources = batch_sources();
+    assert!(sources.len() >= 64);
+    let driver = Driver::default();
+    let parallel = driver.compile_batch(&sources);
+    assert_eq!(parallel.len(), sources.len());
+    for (i, src) in sources.iter().enumerate() {
+        let sequential = driver.compile(src).unwrap();
+        let batched = parallel[i].as_ref().unwrap();
+        assert_eq!(
+            batched.transformed_source, sequential.transformed_source,
+            "program {i} diverged"
+        );
+        assert_eq!(batched.skipped, sequential.skipped);
+        assert_eq!(batched.coalesced.len(), sequential.coalesced.len());
+    }
+}
+
+#[test]
+fn batch_is_deterministic_across_runs() {
+    let sources = batch_sources();
+    let driver = Driver::default();
+    let a = driver.compile_batch(&sources);
+    let b = driver.compile_batch(&sources);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.as_ref().unwrap().transformed_source,
+            y.as_ref().unwrap().transformed_source
+        );
+    }
+}
+
+#[test]
+fn batch_surfaces_per_program_errors_in_place() {
+    let sources = vec![
+        QUICKSTART.to_string(),
+        "this is not a program".to_string(),
+        QUICKSTART.to_string(),
+    ];
+    let results = Driver::default().compile_batch(&sources);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_ok());
+}
+
+// ── diagnostics serialization ───────────────────────────────────────────
+
+#[test]
+fn skip_reasons_round_trip_through_json() {
+    let var = Symbol::new("i");
+    let reasons = vec![
+        SkipReason::BandOutOfRange {
+            start: 0,
+            end: 3,
+            depth: 2,
+        },
+        SkipReason::CarriedDependence {
+            level: 1,
+            var: var.clone(),
+        },
+        SkipReason::NotDoall { var: var.clone() },
+        SkipReason::NotDoallUnchecked,
+        SkipReason::ScalarReduction { var: var.clone() },
+        SkipReason::SymbolicBound {
+            var: var.clone(),
+            part: BoundPart::Upper,
+        },
+        SkipReason::SymbolicBounds,
+        SkipReason::NotNormalized { var: var.clone() },
+        SkipReason::NotUnitNormalized { var: var.clone() },
+        SkipReason::VariantBound {
+            var: var.clone(),
+            dep: Symbol::new("n"),
+        },
+        SkipReason::InterchangeOutOfRange { level: 3, depth: 2 },
+        SkipReason::NotRectangular {
+            var: var.clone(),
+            other: Symbol::new("j"),
+        },
+        SkipReason::InterchangeIllegal {
+            level: 0,
+            array: Symbol::new("A"),
+        },
+        SkipReason::ImperfectNest { found: 2 },
+        SkipReason::NothingLegal,
+        SkipReason::Other("free-form".into()),
+    ];
+    for reason in reasons {
+        let text = skip_reason_to_json(&reason).to_string();
+        let back = skip_reason_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, reason, "round-trip failed for {reason:?}");
+    }
+}
+
+#[test]
+fn skips_round_trip_and_render_the_seed_messages() {
+    let skip = Skip {
+        nest: 3,
+        reason: SkipReason::SymbolicBounds,
+        fallback: Some(SkipReason::NotDoallUnchecked),
+    };
+    let back = Skip::from_json(&Json::parse(&skip.to_json().to_string()).unwrap()).unwrap();
+    assert_eq!(back, skip);
+    assert_eq!(
+        skip.to_string(),
+        "nest has symbolic bounds; symbolic fallback: \
+         legality checking disabled and some level is not a doall"
+    );
+    let plain = Skip {
+        nest: 0,
+        reason: SkipReason::CarriedDependence {
+            level: 0,
+            var: Symbol::new("i"),
+        },
+        fallback: None,
+    };
+    assert_eq!(
+        plain.to_string(),
+        "dependence carried at level `i` forbids coalescing"
+    );
+}
+
+// ── enabling passes ─────────────────────────────────────────────────────
+
+#[test]
+fn perfection_pass_enables_coalescing_of_imperfect_nests() {
+    // Prologue statement between the headers: the facade-compat pipeline
+    // must skip it, the full pipeline perfects then coalesces it.
+    let src = "
+        array P[6];
+        array A[6][4];
+        doall i = 1..6 {
+            P[i] = i * 10;
+            doall j = 1..4 {
+                A[i][j] = i + j;
+            }
+        }
+    ";
+    // Facade-compat sees only the trivial depth-1 nest (extraction stops
+    // at the prologue statement) — 6 iterations, nothing gained.
+    let compat = Driver::new(DriverOptions::facade_compat(CoalesceOptions::default()))
+        .compile(src)
+        .unwrap();
+    assert_eq!(compat.coalesced.len(), 1);
+    assert_eq!(compat.coalesced[0].original_depth, 1);
+    assert_eq!(compat.coalesced[0].total_iterations, 6);
+
+    // The full pipeline perfects the nest first (the prologue sinks
+    // under a first-iteration guard), then coalesces both levels into
+    // one 24-iteration loop.
+    let full = Driver::default().compile(src).unwrap();
+    assert_eq!(full.coalesced.len(), 1, "{:?}", full.skipped);
+    assert_eq!(full.coalesced[0].original_depth, 2);
+    assert_eq!(full.coalesced[0].total_iterations, 24);
+    assert!(full.trace.applied_passes(0).contains(&"perfect"));
+}
+
+#[test]
+fn interchange_pass_moves_serial_level_inward() {
+    // Outer level carries, inner is parallel: the interchange pass swaps
+    // them (direction (<, =) stays legal) so a parallel level leads.
+    let src = "
+        array A[8][16];
+        for i = 2..8 {
+            doall j = 1..16 {
+                A[i][j] = A[i - 1][j] + 1;
+            }
+        }
+    ";
+    let out = Driver::default().compile(src).unwrap();
+    assert!(out.trace.applied_passes(0).contains(&"interchange"));
+}
+
+#[test]
+fn advise_pass_overrides_the_band() {
+    use lc_sched::advise::AdviseParams;
+    let options = DriverOptions {
+        advise: Some(AdviseParams {
+            p: 16,
+            body_cost: 50,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let out = Driver::new(options)
+        .compile(
+            "
+            array V[8][8][8][8];
+            doall a = 1..8 {
+                doall b = 1..8 {
+                    doall c = 1..8 {
+                        doall d = 1..8 {
+                            V[a][b][c][d] = a + b + c + d;
+                        }
+                    }
+                }
+            }
+            ",
+        )
+        .unwrap();
+    assert_eq!(out.coalesced.len(), 1);
+    let (s, e) = out.coalesced[0].levels;
+    assert!(e - s < 4, "advisor should pick a partial band");
+    assert!(out.trace.applied_passes(0).contains(&"advise"));
+    // Advice still needed only one dependence analysis.
+    assert_eq!(out.trace.cache.deps_computed, 1);
+}

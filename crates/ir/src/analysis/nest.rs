@@ -76,7 +76,10 @@ impl Nest {
 
     /// Trip count of every level, if all bounds are constant.
     pub fn trip_counts(&self) -> Option<Vec<u64>> {
-        self.loops.iter().map(LoopHeader::const_trip_count).collect()
+        self.loops
+            .iter()
+            .map(LoopHeader::const_trip_count)
+            .collect()
     }
 
     /// Product of all trip counts (the coalesced loop's length), guarding

@@ -55,8 +55,208 @@ pub enum Error {
         /// Description of the problem.
         message: String,
     },
-    /// An analysis or transformation precondition failed.
-    Unsupported(String),
+    /// An analysis or transformation precondition failed; the payload
+    /// says which one, in a form callers can match on without string
+    /// inspection.
+    Unsupported(SkipReason),
+}
+
+impl Error {
+    /// Free-form [`Error::Unsupported`] for preconditions that have no
+    /// dedicated [`SkipReason`] variant.
+    pub fn unsupported(message: impl Into<String>) -> Error {
+        Error::Unsupported(SkipReason::Other(message.into()))
+    }
+}
+
+/// Which part of a loop header a diagnostic refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundPart {
+    /// The lower bound expression.
+    Lower,
+    /// The upper bound expression.
+    Upper,
+    /// The step expression.
+    Step,
+}
+
+/// Typed diagnostic explaining why a transformation skipped (or refused)
+/// a nest. Replaces the former free-form `Unsupported(String)`: callers
+/// match on variants instead of substring-testing messages, while
+/// `Display` reproduces the exact messages the string era produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SkipReason {
+    /// The requested level band does not fit the nest.
+    BandOutOfRange {
+        /// Band start (0-based, inclusive).
+        start: usize,
+        /// Band end (exclusive).
+        end: usize,
+        /// Actual nest depth.
+        depth: usize,
+    },
+    /// A dependence is carried at a level inside the band.
+    CarriedDependence {
+        /// 0-based nest level carrying the dependence.
+        level: usize,
+        /// Loop variable of that level.
+        var: Symbol,
+    },
+    /// A banded level is not a `doall` and legality checking is off.
+    NotDoall {
+        /// Loop variable of the offending level.
+        var: Symbol,
+    },
+    /// Symbolic path: legality checking is off and some level is serial.
+    NotDoallUnchecked,
+    /// A scalar may carry a value across iterations (e.g. a reduction),
+    /// so it cannot be privatized.
+    ScalarReduction {
+        /// The scalar variable.
+        var: Symbol,
+    },
+    /// One loop header has a symbolic (non-constant) bound or step.
+    SymbolicBound {
+        /// Loop variable of the offending header.
+        var: Symbol,
+        /// Which part of the header is symbolic.
+        part: BoundPart,
+    },
+    /// The nest as a whole has symbolic trip counts.
+    SymbolicBounds,
+    /// A header is not in normalized `1..=N step 1` form.
+    NotNormalized {
+        /// Loop variable of the offending header.
+        var: Symbol,
+    },
+    /// Symbolic coalescing needs `1..=U step 1` headers and this one
+    /// is not.
+    NotUnitNormalized {
+        /// Loop variable of the offending header.
+        var: Symbol,
+    },
+    /// An upper bound depends on a variable the nest itself writes.
+    VariantBound {
+        /// Loop variable whose bound is variant.
+        var: Symbol,
+        /// The variable the bound depends on.
+        dep: Symbol,
+    },
+    /// Interchange asked for a level at or beyond the nest depth.
+    InterchangeOutOfRange {
+        /// The requested (outer) level.
+        level: usize,
+        /// Actual nest depth.
+        depth: usize,
+    },
+    /// Loop bounds of adjacent levels reference each other's variables.
+    NotRectangular {
+        /// Loop variable whose bounds are dependent.
+        var: Symbol,
+        /// The variable those bounds mention.
+        other: Symbol,
+    },
+    /// A `(<, >)` direction vector forbids interchanging two levels.
+    InterchangeIllegal {
+        /// The outer of the two levels being swapped.
+        level: usize,
+        /// Array carrying the blocking dependence.
+        array: Symbol,
+    },
+    /// Nest perfection found a body with other than exactly one
+    /// inner loop.
+    ImperfectNest {
+        /// How many inner loops the body actually contains.
+        found: usize,
+    },
+    /// Every level carries a dependence; no band is legal.
+    NothingLegal,
+    /// Free-form reason with no dedicated variant.
+    Other(String),
+}
+
+impl SkipReason {
+    /// True when the reason is a symbolic-bound limitation, i.e. the
+    /// constant-trip-count pipeline cannot proceed but the symbolic
+    /// coalescer might. Replaces the old `message.contains("symbolic")`
+    /// dispatch in the facade.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(
+            self,
+            SkipReason::SymbolicBound { .. } | SkipReason::SymbolicBounds
+        )
+    }
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::BandOutOfRange { start, end, depth } => write!(
+                f,
+                "invalid level band [{start}, {end}) for nest of depth {depth}"
+            ),
+            SkipReason::CarriedDependence { var, .. } => {
+                write!(f, "dependence carried at level `{var}` forbids coalescing")
+            }
+            SkipReason::NotDoall { var } => write!(
+                f,
+                "level `{var}` is not a doall and legality checking is disabled"
+            ),
+            SkipReason::NotDoallUnchecked => write!(
+                f,
+                "legality checking disabled and some level is not a doall"
+            ),
+            SkipReason::ScalarReduction { var } => write!(
+                f,
+                "scalar `{var}` may be read before it is written within an \
+                 iteration (cross-iteration scalar dependence, e.g. a \
+                 reduction); cannot privatize"
+            ),
+            SkipReason::SymbolicBound { var, part } => {
+                let part = match part {
+                    BoundPart::Lower => "symbolic lower bound",
+                    BoundPart::Upper => "symbolic upper bound",
+                    BoundPart::Step => "symbolic step",
+                };
+                write!(f, "loop `{var}` has {part}")
+            }
+            SkipReason::SymbolicBounds => write!(f, "nest has symbolic bounds"),
+            SkipReason::NotNormalized { var } => write!(
+                f,
+                "loop `{var}` is not normalized (run normalize_nest first)"
+            ),
+            SkipReason::NotUnitNormalized { var } => write!(
+                f,
+                "symbolic coalescing requires `1..=U step 1` loops; `{var}` is not"
+            ),
+            SkipReason::VariantBound { var, dep } => write!(
+                f,
+                "bound of `{var}` depends on `{dep}`, which the nest modifies"
+            ),
+            SkipReason::InterchangeOutOfRange { level, depth } => write!(
+                f,
+                "cannot interchange level {level} of a depth-{depth} nest"
+            ),
+            SkipReason::NotRectangular { var, other } => write!(
+                f,
+                "bounds of `{var}` depend on `{other}`: nest is not rectangular"
+            ),
+            SkipReason::InterchangeIllegal { level, array } => write!(
+                f,
+                "interchange of levels {level} and {} is illegal: \
+                 dependence with direction (<, >) on `{array}`",
+                level + 1
+            ),
+            SkipReason::ImperfectNest { found } => {
+                write!(f, "perfection needs exactly one inner loop, found {found}")
+            }
+            SkipReason::NothingLegal => {
+                write!(f, "every level carries a dependence; nothing to coalesce")
+            }
+            SkipReason::Other(m) => f.write_str(m),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -89,7 +289,7 @@ impl fmt::Display for Error {
             }
             Error::ZeroStep(s) => write!(f, "loop over `{s}` has step 0"),
             Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
-            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Unsupported(reason) => write!(f, "unsupported: {reason}"),
         }
     }
 }

@@ -605,11 +605,13 @@ mod tests {
     #[test]
     fn negative_step_loop_descends() {
         // for i = 3..1 step -1 { A[i] = i }
-        let mut l = Loop::new(crate::stmt::LoopKind::Serial, "i", 3, 1, vec![Stmt::store(
-            "A",
-            vec![Expr::var("i")],
-            Expr::var("i"),
-        )]);
+        let mut l = Loop::new(
+            crate::stmt::LoopKind::Serial,
+            "i",
+            3,
+            1,
+            vec![Stmt::store("A", vec![Expr::var("i")], Expr::var("i"))],
+        );
         l.step = Expr::lit(-1);
         let p = Program::new()
             .with_array("A", vec![3])

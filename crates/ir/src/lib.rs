@@ -53,7 +53,7 @@ pub mod program;
 pub mod stmt;
 pub mod symbol;
 
-pub use error::{Error, Result};
+pub use error::{BoundPart, Error, Result, SkipReason};
 pub use expr::{ArrayRef, BinOp, CmpOp, Cond, Expr, UnOp};
 pub use program::{ArrayDecl, Program};
 pub use stmt::{Loop, LoopKind, Stmt};

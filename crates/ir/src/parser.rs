@@ -132,8 +132,10 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     });
                     i += 2;
                 } else {
-                    let one = ["[", "]", "{", "}", "(", ")", "=", ";", "+", "-", "*", "/", "%",
-                        "<", ">", "!", ","]
+                    let one = [
+                        "[", "]", "{", "}", "(", ")", "=", ";", "+", "-", "*", "/", "%", "<", ">",
+                        "!", ",",
+                    ]
                     .iter()
                     .find(|p| p.as_bytes()[0] == bytes[i])
                     .copied();

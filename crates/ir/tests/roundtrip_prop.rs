@@ -39,16 +39,18 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
             (
-                proptest::sample::select(&[
-                    BinOp::Add,
-                    BinOp::Sub,
-                    BinOp::Mul,
-                    BinOp::Div,
-                    BinOp::Mod,
-                    BinOp::CeilDiv,
-                    BinOp::Min,
-                    BinOp::Max,
-                ][..]),
+                proptest::sample::select(
+                    &[
+                        BinOp::Add,
+                        BinOp::Sub,
+                        BinOp::Mul,
+                        BinOp::Div,
+                        BinOp::Mod,
+                        BinOp::CeilDiv,
+                        BinOp::Min,
+                        BinOp::Max,
+                    ][..]
+                ),
                 inner.clone(),
                 inner.clone()
             )
@@ -56,11 +58,9 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
-            (array_pick(), proptest::collection::vec(inner, 2))
-                .prop_map(|((name, rank), subs)| Expr::Read(ArrayRef::new(
-                    name,
-                    subs.into_iter().take(rank).collect()
-                ))),
+            (array_pick(), proptest::collection::vec(inner, 2)).prop_map(|((name, rank), subs)| {
+                Expr::Read(ArrayRef::new(name, subs.into_iter().take(rank).collect()))
+            }),
         ]
     })
     .boxed()
@@ -68,14 +68,16 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
 
 fn cond(depth: u32) -> BoxedStrategy<Cond> {
     let leaf = (
-        proptest::sample::select(&[
-            CmpOp::Eq,
-            CmpOp::Ne,
-            CmpOp::Lt,
-            CmpOp::Le,
-            CmpOp::Gt,
-            CmpOp::Ge,
-        ][..]),
+        proptest::sample::select(
+            &[
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][..],
+        ),
         expr(2),
         expr(2),
     )
@@ -83,8 +85,7 @@ fn cond(depth: u32) -> BoxedStrategy<Cond> {
     leaf.prop_recursive(depth, 8, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|c| Cond::Not(Box::new(c))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
         ]
     })
@@ -134,13 +135,16 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
                             body,
                         })
                     }),
-                (cond(2), body.clone(), proptest::collection::vec(inner, 0..2)).prop_map(
-                    |(c, t, e)| Stmt::If {
+                (
+                    cond(2),
+                    body.clone(),
+                    proptest::collection::vec(inner, 0..2)
+                )
+                    .prop_map(|(c, t, e)| Stmt::If {
                         cond: c,
                         then_body: t,
                         else_body: e,
-                    }
-                ),
+                    }),
             ]
         })
         .boxed()

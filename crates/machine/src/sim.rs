@@ -382,11 +382,23 @@ mod tests {
     fn locality_misses_follow_the_dispatch_shape() {
         let cost = CostModel::free();
         // Static block: one contiguous chunk per worker — zero misses.
-        let block = simulate_loop(100, 4, LoopSchedule::Static(StaticKind::Block), &cost, &UNIT);
+        let block = simulate_loop(
+            100,
+            4,
+            LoopSchedule::Static(StaticKind::Block),
+            &cost,
+            &UNIT,
+        );
         assert_eq!(block.locality_misses, 0);
         // Static cyclic: every length-1 chunk after a worker's first is
         // non-adjacent — 96 misses.
-        let cyc = simulate_loop(100, 4, LoopSchedule::Static(StaticKind::Cyclic), &cost, &UNIT);
+        let cyc = simulate_loop(
+            100,
+            4,
+            LoopSchedule::Static(StaticKind::Cyclic),
+            &cost,
+            &UNIT,
+        );
         assert_eq!(cyc.locality_misses, 96);
         // CSS(25) on 4 workers: each grabs one chunk — zero misses.
         let css = simulate_loop(
@@ -404,12 +416,36 @@ mod tests {
         let base = CostModel::free();
         let pricey = CostModel::free().with_locality_miss(50);
         // Block schedules are immune.
-        let a = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Block), &base, &UNIT);
-        let b = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Block), &pricey, &UNIT);
+        let a = simulate_loop(
+            200,
+            4,
+            LoopSchedule::Static(StaticKind::Block),
+            &base,
+            &UNIT,
+        );
+        let b = simulate_loop(
+            200,
+            4,
+            LoopSchedule::Static(StaticKind::Block),
+            &pricey,
+            &UNIT,
+        );
         assert_eq!(a.makespan, b.makespan);
         // Cyclic schedules pay per iteration.
-        let c = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Cyclic), &base, &UNIT);
-        let d = simulate_loop(200, 4, LoopSchedule::Static(StaticKind::Cyclic), &pricey, &UNIT);
+        let c = simulate_loop(
+            200,
+            4,
+            LoopSchedule::Static(StaticKind::Cyclic),
+            &base,
+            &UNIT,
+        );
+        let d = simulate_loop(
+            200,
+            4,
+            LoopSchedule::Static(StaticKind::Cyclic),
+            &pricey,
+            &UNIT,
+        );
         assert!(d.makespan > c.makespan + 40 * 50);
     }
 

@@ -90,10 +90,7 @@ mod tests {
     }
 
     /// Run a mode and record each visited cell exactly once in a flat grid.
-    fn check_visits_all(
-        dims: &[u64],
-        run: impl FnOnce(&(dyn Fn(&[i64]) + Sync)),
-    ) {
+    fn check_visits_all(dims: &[u64], run: impl FnOnce(&(dyn Fn(&[i64]) + Sync))) {
         let n = total_iterations(dims).unwrap();
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let strides = lc_space::strides(dims);
@@ -112,7 +109,11 @@ mod tests {
 
     #[test]
     fn coalesced_visits_every_cell_once() {
-        for policy in [PolicyKind::SelfSched, PolicyKind::Guided, PolicyKind::Chunked(13)] {
+        for policy in [
+            PolicyKind::SelfSched,
+            PolicyKind::Guided,
+            PolicyKind::Chunked(13),
+        ] {
             check_visits_all(&[7, 9, 5], |body| {
                 coalesced_for(&[7, 9, 5], &opts(4, policy), body);
             });
@@ -155,18 +156,14 @@ mod tests {
         let b: Vec<i64> = (0..k * m).map(|x| (x % 7) as i64 - 3).collect();
         let c: Vec<AtomicI64> = (0..n * m).map(|_| AtomicI64::new(0)).collect();
 
-        coalesced_for(
-            &[n as u64, m as u64],
-            &opts(4, PolicyKind::Guided),
-            |iv| {
-                let (i, j) = (iv[0] as usize - 1, iv[1] as usize - 1);
-                let mut acc = 0i64;
-                for kk in 0..k {
-                    acc += a[i * k + kk] * b[kk * m + j];
-                }
-                c[i * m + j].store(acc, Ordering::Relaxed);
-            },
-        );
+        coalesced_for(&[n as u64, m as u64], &opts(4, PolicyKind::Guided), |iv| {
+            let (i, j) = (iv[0] as usize - 1, iv[1] as usize - 1);
+            let mut acc = 0i64;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * m + j];
+            }
+            c[i * m + j].store(acc, Ordering::Relaxed);
+        });
 
         for i in 0..n {
             for j in 0..m {

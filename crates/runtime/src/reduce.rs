@@ -118,7 +118,9 @@ mod tests {
 
     #[test]
     fn reduce_with_min_operator() {
-        let data: Vec<i64> = (0..5000).map(|i| ((i * 2654435761u64) % 99991) as i64).collect();
+        let data: Vec<i64> = (0..5000)
+            .map(|i| ((i * 2654435761u64) % 99991) as i64)
+            .collect();
         let want = *data.iter().min().unwrap();
         let (got, _) = parallel_reduce(
             data.len() as u64,

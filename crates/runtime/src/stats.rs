@@ -51,8 +51,18 @@ impl RunStats {
     /// `(max busy − min busy) / max busy` across workers; 0.0 when
     /// perfectly balanced or trivially small.
     pub fn imbalance(&self) -> f64 {
-        let max = self.workers.iter().map(|w| w.busy).max().unwrap_or_default();
-        let min = self.workers.iter().map(|w| w.busy).min().unwrap_or_default();
+        let max = self
+            .workers
+            .iter()
+            .map(|w| w.busy)
+            .max()
+            .unwrap_or_default();
+        let min = self
+            .workers
+            .iter()
+            .map(|w| w.busy)
+            .min()
+            .unwrap_or_default();
         if max.is_zero() {
             0.0
         } else {

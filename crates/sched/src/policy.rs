@@ -154,13 +154,11 @@ impl ChunkPolicy for Trapezoid {
 
 /// Factoring: iterations are handed out in batches of `p` equal chunks,
 /// each batch taking half of what remains at batch start.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Factoring {
     in_batch: usize,
     batch_chunk: u64,
 }
-
 
 impl ChunkPolicy for Factoring {
     fn next_chunk_size(&mut self, remaining: u64, p: usize) -> u64 {
@@ -373,7 +371,10 @@ mod tests {
 
     #[test]
     fn self_sched_hands_out_singles() {
-        assert_eq!(chunk_sizes(5, 4, PolicyKind::SelfSched), vec![1, 1, 1, 1, 1]);
+        assert_eq!(
+            chunk_sizes(5, 4, PolicyKind::SelfSched),
+            vec![1, 1, 1, 1, 1]
+        );
     }
 
     #[test]
@@ -446,7 +447,10 @@ mod tests {
     #[test]
     fn static_cyclic_assignment_interleaves() {
         let a = static_assignment(7, 3, StaticKind::Cyclic);
-        assert_eq!(a[0].iter().map(|c| c.start).collect::<Vec<_>>(), vec![0, 3, 6]);
+        assert_eq!(
+            a[0].iter().map(|c| c.start).collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
         assert_eq!(a[1].iter().map(|c| c.start).collect::<Vec<_>>(), vec![1, 4]);
         assert_eq!(a[2].iter().map(|c| c.start).collect::<Vec<_>>(), vec![2, 5]);
     }

@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn triangular_total_counts_triangle() {
-        let m = WorkModel::TriangularMask { heavy: 10, light: 0 };
+        let m = WorkModel::TriangularMask {
+            heavy: 10,
+            light: 0,
+        };
         // 4x4: triangle (j <= i) has 10 cells.
         assert_eq!(m.total(&[4, 4]), 100);
     }

@@ -37,7 +37,10 @@ impl AtomicMatrix {
 
     /// Copy out as a plain vector (row-major).
     pub fn snapshot(&self) -> Vec<i64> {
-        self.data.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

@@ -36,8 +36,8 @@ impl IrBodyCost {
     pub fn new(kernel: &Kernel) -> Result<IrBodyCost> {
         let (start, end) = kernel.band.unwrap_or((0, usize::MAX));
         if start != 0 {
-            return Err(Error::Unsupported(
-                "IrBodyCost requires the band to start at the outermost level".into(),
+            return Err(Error::unsupported(
+                "IrBodyCost requires the band to start at the outermost level",
             ));
         }
         let nest = lc_ir::analysis::nest::extract_nest(kernel.target_loop());

@@ -37,18 +37,23 @@
 
 use std::collections::HashSet;
 
-use lc_ir::analysis::depend::analyze_nest;
+use lc_ir::analysis::depend::{analyze_nest, NestDeps};
 use lc_ir::analysis::nest::{extract_nest, Nest};
 use lc_ir::expr::{Cond, Expr};
 use lc_ir::stmt::{Loop, LoopKind, Stmt};
 use lc_ir::symbol::Symbol;
-use lc_ir::{Error, Result};
+use lc_ir::{Error, Result, SkipReason};
 
 use crate::normalize::normalize_nest;
 use crate::recovery::{per_iteration_cost, recovery_stmts, total_iterations, RecoveryScheme};
 
 /// Options controlling [`coalesce_loop`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`CoalesceOptions::default`] or the [builder](CoalesceOptions::builder),
+/// e.g. `CoalesceOptions::builder().levels(0, 2).build()`.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CoalesceOptions {
     /// Index-recovery code to emit (default: the paper's ceiling formula).
     pub scheme: RecoveryScheme,
@@ -82,6 +87,95 @@ impl Default for CoalesceOptions {
     }
 }
 
+impl CoalesceOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> CoalesceOptionsBuilder {
+        CoalesceOptionsBuilder {
+            opts: CoalesceOptions::default(),
+        }
+    }
+
+    /// Fit the requested band to a nest of `depth` levels: if the band
+    /// is empty or reaches past the nest, fall back to coalescing the
+    /// whole nest (`levels = None`) rather than erroring.
+    ///
+    /// This is the per-nest clamping the source pipeline applies when one
+    /// option set drives programs whose nests have differing depths.
+    pub fn clamped_to_depth(mut self, depth: usize) -> Self {
+        if let Some((start, end)) = self.levels {
+            if end > depth || start >= end {
+                self.levels = None;
+            }
+        }
+        self
+    }
+}
+
+/// Builder for [`CoalesceOptions`]; see [`CoalesceOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct CoalesceOptionsBuilder {
+    opts: CoalesceOptions,
+}
+
+impl CoalesceOptionsBuilder {
+    /// Index-recovery code to emit.
+    pub fn scheme(mut self, scheme: RecoveryScheme) -> Self {
+        self.opts.scheme = scheme;
+        self
+    }
+
+    /// Verify DOALL legality with the dependence tester.
+    pub fn check_legality(mut self, check: bool) -> Self {
+        self.opts.check_legality = check;
+        self
+    }
+
+    /// Coalesce only the contiguous band of 0-based levels
+    /// `[start, end)`.
+    pub fn levels(mut self, start: usize, end: usize) -> Self {
+        self.opts.levels = Some((start, end));
+        self
+    }
+
+    /// Coalesce the whole nest (the default; undoes [`Self::levels`]).
+    pub fn all_levels(mut self) -> Self {
+        self.opts.levels = None;
+        self
+    }
+
+    /// Set the band from an `Option`: `Some((start, end))` behaves like
+    /// [`Self::levels`], `None` like [`Self::all_levels`]. Handy when the
+    /// band is itself data (e.g. a kernel's recommended collapse band).
+    pub fn levels_opt(mut self, band: Option<(usize, usize)>) -> Self {
+        self.opts.levels = band;
+        self
+    }
+
+    /// Requested name for the coalesced index variable.
+    pub fn coalesced_var(mut self, var: impl Into<Symbol>) -> Self {
+        self.opts.coalesced_var = Some(var.into());
+        self
+    }
+
+    /// Automatically normalize non-unit-step / offset loops first.
+    pub fn auto_normalize(mut self, auto: bool) -> Self {
+        self.opts.auto_normalize = auto;
+        self
+    }
+
+    /// Run common-subexpression extraction over the emitted recovery
+    /// statements.
+    pub fn strength_reduce(mut self, reduce: bool) -> Self {
+        self.opts.strength_reduce = reduce;
+        self
+    }
+
+    /// Finish, yielding the options.
+    pub fn build(self) -> CoalesceOptions {
+        self.opts
+    }
+}
+
 /// Metadata describing what a coalescing did (consumed by the scheduling
 /// and benchmark layers).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +206,12 @@ pub struct CoalesceResult {
 }
 
 /// Coalesce (a band of levels of) the perfect nest rooted at `l`.
+///
+/// Convenience wrapper over [`coalesce_nest`]: extracts and (by default)
+/// normalizes the nest, then runs every analysis from scratch. Callers
+/// that already hold the normalized nest and its dependence analysis —
+/// e.g. `lc-driver`'s cached pipeline — should call [`coalesce_nest`]
+/// directly so nothing is recomputed.
 pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult> {
     let mut nest = extract_nest(l);
     if opts.auto_normalize {
@@ -119,15 +219,32 @@ pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult>
     } else {
         crate::normalize::require_normalized(&nest.loops)?;
     }
+    coalesce_nest(&nest, None, opts)
+}
+
+/// Coalesce an already-extracted, already-normalized nest.
+///
+/// `deps` optionally injects a precomputed dependence analysis of exactly
+/// this nest; when `None` (and `opts.check_legality` is set) the tester
+/// runs internally. Injecting lets a driver share one analysis between
+/// the legality check, the collapse-band advisor, and the coalescer.
+pub fn coalesce_nest(
+    nest: &Nest,
+    deps: Option<&NestDeps>,
+    opts: &CoalesceOptions,
+) -> Result<CoalesceResult> {
+    crate::normalize::require_normalized(&nest.loops)?;
     let depth = nest.depth();
     let (start, end) = opts.levels.unwrap_or((0, depth));
     if start >= end || end > depth {
-        return Err(Error::Unsupported(format!(
-            "invalid level band [{start}, {end}) for nest of depth {depth}"
-        )));
+        return Err(Error::Unsupported(SkipReason::BandOutOfRange {
+            start,
+            end,
+            depth,
+        }));
     }
 
-    check_band_legality(&nest, start, end, opts)?;
+    check_band_legality(nest, deps, start, end, opts)?;
 
     let dims: Vec<u64> = nest.loops[start..end]
         .iter()
@@ -135,7 +252,7 @@ pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult>
         .collect();
     let total = total_iterations(&dims)?;
 
-    let jvar = fresh_var(opts.coalesced_var.clone(), &nest);
+    let jvar = fresh_var(opts.coalesced_var.clone(), nest);
     let level_vars: Vec<Symbol> = nest.loops[start..end]
         .iter()
         .map(|h| h.var.clone())
@@ -160,7 +277,7 @@ pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult>
     if opts.strength_reduce {
         // Temp names are `{prefix}{n}` for arbitrary n: pick a prefix no
         // existing symbol starts with, so no temp can collide.
-        let used = used_symbols(&nest);
+        let used = used_symbols(nest);
         let prefix = (0u32..)
             .map(|i| {
                 if i == 0 {
@@ -216,6 +333,7 @@ pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult>
 
 fn check_band_legality(
     nest: &Nest,
+    deps: Option<&NestDeps>,
     start: usize,
     end: usize,
     opts: &CoalesceOptions,
@@ -226,19 +344,25 @@ fn check_band_legality(
             .iter()
             .find(|h| !h.kind.is_doall())
             .expect("some level is not doall");
-        return Err(Error::Unsupported(format!(
-            "level `{}` is not a doall and legality checking is disabled",
-            bad.var
-        )));
+        return Err(Error::Unsupported(SkipReason::NotDoall {
+            var: bad.var.clone(),
+        }));
     }
     if opts.check_legality {
-        let deps = analyze_nest(nest)?;
+        let owned;
+        let deps = match deps {
+            Some(d) => d,
+            None => {
+                owned = analyze_nest(nest)?;
+                &owned
+            }
+        };
         for level in start..end {
             if deps.carried_at(level) {
-                return Err(Error::Unsupported(format!(
-                    "dependence carried at level `{}` forbids coalescing",
-                    nest.loops[level].var
-                )));
+                return Err(Error::Unsupported(SkipReason::CarriedDependence {
+                    level,
+                    var: nest.loops[level].var.clone(),
+                }));
             }
         }
         scalar_privatization_ok(nest, start, end)?;
@@ -249,7 +373,9 @@ fn check_band_legality(
 /// Pick a name that collides with nothing in the nest.
 fn fresh_var(requested: Option<Symbol>, nest: &Nest) -> Symbol {
     let used = used_symbols(nest);
-    let base = requested.map(|s| s.as_str().to_string()).unwrap_or_else(|| "jc".to_string());
+    let base = requested
+        .map(|s| s.as_str().to_string())
+        .unwrap_or_else(|| "jc".to_string());
     if !used.contains(base.as_str()) {
         return Symbol::new(&base);
     }
@@ -362,21 +488,13 @@ fn check_reads_expr(e: &Expr, assigned: &HashSet<Symbol>, defined: &HashSet<Symb
     e.variables(&mut vars);
     for v in vars {
         if assigned.contains(&v) && !defined.contains(&v) {
-            return Err(Error::Unsupported(format!(
-                "scalar `{v}` may be read before it is written within an \
-                 iteration (cross-iteration scalar dependence, e.g. a \
-                 reduction); cannot privatize"
-            )));
+            return Err(Error::Unsupported(SkipReason::ScalarReduction { var: v }));
         }
     }
     Ok(())
 }
 
-fn check_reads_cond(
-    c: &Cond,
-    assigned: &HashSet<Symbol>,
-    defined: &HashSet<Symbol>,
-) -> Result<()> {
+fn check_reads_cond(c: &Cond, assigned: &HashSet<Symbol>, defined: &HashSet<Symbol>) -> Result<()> {
     match c {
         Cond::Cmp(_, a, b) => {
             check_reads_expr(a, assigned, defined)?;
@@ -684,7 +802,9 @@ mod tests {
         let (_, l) = loop_of(&p);
         let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains("carried"), "{m}"),
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::CarriedDependence { .. }), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -735,7 +855,9 @@ mod tests {
         let (_, l) = loop_of(&p);
         let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains("scalar"), "{m}"),
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::ScalarReduction { .. }), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -82,7 +82,7 @@ pub fn distribute(l: &Loop) -> Result<Vec<Loop>> {
 pub fn distribute_stmt(s: &Stmt) -> Result<Vec<Stmt>> {
     match s {
         Stmt::Loop(l) => Ok(distribute(l)?.into_iter().map(Stmt::Loop).collect()),
-        other => Err(Error::Unsupported(format!(
+        other => Err(Error::unsupported(format!(
             "can only distribute a loop statement, got {other:?}"
         ))),
     }

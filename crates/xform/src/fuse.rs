@@ -29,7 +29,7 @@ pub fn fuse(a: &Loop, b: &Loop) -> Result<Loop> {
     let ta = a.const_trip_count().expect("normalized");
     let tb = b.const_trip_count().expect("normalized");
     if ta != tb {
-        return Err(Error::Unsupported(format!(
+        return Err(Error::unsupported(format!(
             "cannot fuse loops with different trip counts ({ta} vs {tb})"
         )));
     }
@@ -78,7 +78,7 @@ pub fn fuse(a: &Loop, b: &Loop) -> Result<Loop> {
     for d in &deps.deps {
         let carried = d.directions.iter().any(|v| v.contains(&Dir::Lt));
         if carried && d.src_stmt >= a_len && d.dst_stmt < a_len {
-            return Err(Error::Unsupported(format!(
+            return Err(Error::unsupported(format!(
                 "fusion-preventing dependence on `{}`: the second loop \
                  feeds an earlier iteration of the first",
                 d.array
@@ -91,10 +91,9 @@ pub fn fuse(a: &Loop, b: &Loop) -> Result<Loop> {
     // were serial-safe; otherwise reject to avoid silently changing
     // parallel semantics.
     if kind.is_doall() && (0..1).any(|lvl| deps.carried_at(lvl)) {
-        return Err(Error::Unsupported(
+        return Err(Error::unsupported(
             "fusing these doall loops would create a carried dependence; \
-             the result could no longer run in parallel"
-                .into(),
+             the result could no longer run in parallel",
         ));
     }
 

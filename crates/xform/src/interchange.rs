@@ -10,17 +10,17 @@
 use lc_ir::analysis::depend::{analyze_nest, Dir};
 use lc_ir::analysis::nest::extract_nest;
 use lc_ir::stmt::Loop;
-use lc_ir::{Error, Result};
+use lc_ir::{Error, Result, SkipReason};
 
 /// Interchange levels `level` and `level + 1` (0-based) of the perfect
 /// nest rooted at `l`, checking legality first.
 pub fn interchange(l: &Loop, level: usize) -> Result<Loop> {
     let mut nest = extract_nest(l);
     if level + 1 >= nest.depth() {
-        return Err(Error::Unsupported(format!(
-            "cannot interchange level {level} of a depth-{} nest",
-            nest.depth()
-        )));
+        return Err(Error::Unsupported(SkipReason::InterchangeOutOfRange {
+            level,
+            depth: nest.depth(),
+        }));
     }
 
     // Rectangularity: neither loop's bounds may mention the other's var
@@ -32,10 +32,10 @@ pub fn interchange(l: &Loop, level: usize) -> Result<Loop> {
         nest.loops[b].upper.variables(&mut vars);
         nest.loops[b].step.variables(&mut vars);
         if vars.contains(&var) {
-            return Err(Error::Unsupported(format!(
-                "bounds of `{}` depend on `{var}`: nest is not rectangular",
-                nest.loops[b].var
-            )));
+            return Err(Error::Unsupported(SkipReason::NotRectangular {
+                var: nest.loops[b].var.clone(),
+                other: var,
+            }));
         }
     }
 
@@ -44,12 +44,10 @@ pub fn interchange(l: &Loop, level: usize) -> Result<Loop> {
         for dv in &d.directions {
             let prefix_eq = dv[..level].iter().all(|x| *x == Dir::Eq);
             if prefix_eq && dv[level] == Dir::Lt && dv[level + 1] == Dir::Gt {
-                return Err(Error::Unsupported(format!(
-                    "interchange of levels {level} and {} is illegal: \
-                     dependence with direction (<, >) on `{}`",
-                    level + 1,
-                    d.array
-                )));
+                return Err(Error::Unsupported(SkipReason::InterchangeIllegal {
+                    level,
+                    array: d.array.clone(),
+                }));
             }
         }
     }
@@ -192,7 +190,9 @@ mod tests {
         let (_, l) = loop_of(&p);
         let err = interchange(&l, 0).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains("rectangular"), "{m}"),
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::NotRectangular { .. }), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }

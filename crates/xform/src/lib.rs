@@ -65,8 +65,8 @@ pub mod normalize;
 pub mod perfect;
 pub mod recovery;
 pub mod strength;
-pub mod symbolic;
 pub mod stripmine;
+pub mod symbolic;
 pub mod validate;
 
 pub use coalesce::{coalesce_loop, CoalesceInfo, CoalesceOptions, CoalesceResult};

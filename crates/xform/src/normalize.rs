@@ -10,7 +10,7 @@
 use lc_ir::analysis::nest::{LoopHeader, Nest};
 use lc_ir::expr::Expr;
 use lc_ir::stmt::{Loop, Stmt};
-use lc_ir::{Error, Result};
+use lc_ir::{BoundPart, Error, Result, SkipReason};
 
 /// Normalize a single loop. Returns the rewritten loop; already-normalized
 /// loops are returned unchanged (cheaply, but not by reference).
@@ -18,24 +18,31 @@ pub fn normalize_loop(l: &Loop) -> Result<Loop> {
     if l.is_normalized() {
         return Ok(l.clone());
     }
-    let lo = l
-        .lower
-        .as_const()
-        .ok_or_else(|| Error::Unsupported(format!("loop `{}` has symbolic lower bound", l.var)))?;
-    let step = l
-        .step
-        .as_const()
-        .ok_or_else(|| Error::Unsupported(format!("loop `{}` has symbolic step", l.var)))?;
+    let lo = l.lower.as_const().ok_or_else(|| {
+        Error::Unsupported(SkipReason::SymbolicBound {
+            var: l.var.clone(),
+            part: BoundPart::Lower,
+        })
+    })?;
+    let step = l.step.as_const().ok_or_else(|| {
+        Error::Unsupported(SkipReason::SymbolicBound {
+            var: l.var.clone(),
+            part: BoundPart::Step,
+        })
+    })?;
     if step == 0 {
         return Err(Error::ZeroStep(l.var.clone()));
     }
     let trip = l.const_trip_count().ok_or_else(|| {
-        Error::Unsupported(format!("loop `{}` has symbolic upper bound", l.var))
+        Error::Unsupported(SkipReason::SymbolicBound {
+            var: l.var.clone(),
+            part: BoundPart::Upper,
+        })
     })?;
 
     // i = lo + (i' - 1) * step, substituted everywhere i occurred.
-    let replacement = (Expr::lit(lo) + (Expr::var(l.var.as_str()) - Expr::lit(1)) * Expr::lit(step))
-        .fold();
+    let replacement =
+        (Expr::lit(lo) + (Expr::var(l.var.as_str()) - Expr::lit(1)) * Expr::lit(step)).fold();
     let body: Vec<Stmt> = l
         .body
         .iter()
@@ -76,10 +83,9 @@ fn normalize_levels(l: &Loop, remaining: usize) -> Result<Loop> {
 pub fn require_normalized(headers: &[LoopHeader]) -> Result<()> {
     for h in headers {
         if !h.is_normalized() {
-            return Err(Error::Unsupported(format!(
-                "loop `{}` is not normalized (run normalize_nest first)",
-                h.var
-            )));
+            return Err(Error::Unsupported(SkipReason::NotNormalized {
+                var: h.var.clone(),
+            }));
         }
     }
     Ok(())
@@ -247,7 +253,9 @@ mod tests {
         let nest = extract_nest(&loop_of(&p));
         let err = require_normalized(&nest.loops).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains('j')),
+            Error::Unsupported(m) => {
+                assert!(m.to_string().contains('j'), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -36,7 +36,7 @@ use lc_ir::analysis::depend::analyze_nest;
 use lc_ir::analysis::nest::extract_nest;
 use lc_ir::expr::{CmpOp, Cond, Expr};
 use lc_ir::stmt::{Loop, Stmt};
-use lc_ir::{Error, Result};
+use lc_ir::{Error, Result, SkipReason};
 
 /// Sink prologue/epilogue statements around the unique inner loop of `l`
 /// into that loop under `j == first` / `j == last` guards, producing a
@@ -51,10 +51,9 @@ pub fn perfect_one_level(l: &Loop) -> Result<Loop> {
         .map(|(i, _)| i)
         .collect();
     if inner_positions.len() != 1 {
-        return Err(Error::Unsupported(format!(
-            "perfection needs exactly one inner loop, found {}",
-            inner_positions.len()
-        )));
+        return Err(Error::Unsupported(SkipReason::ImperfectNest {
+            found: inner_positions.len(),
+        }));
     }
     let pos = inner_positions[0];
     if l.body.len() == 1 {
@@ -72,13 +71,13 @@ pub fn perfect_one_level(l: &Loop) -> Result<Loop> {
         inner.upper.as_const(),
         inner.step.as_const(),
     ) else {
-        return Err(Error::Unsupported(
-            "perfection requires a normalized (constant-bound, unit-step) inner loop".into(),
+        return Err(Error::unsupported(
+            "perfection requires a normalized (constant-bound, unit-step) inner loop",
         ));
     };
     if hi < lo {
-        return Err(Error::Unsupported(
-            "cannot sink statements into a zero-trip inner loop".into(),
+        return Err(Error::unsupported(
+            "cannot sink statements into a zero-trip inner loop",
         ));
     }
 
@@ -90,7 +89,7 @@ pub fn perfect_one_level(l: &Loop) -> Result<Loop> {
         let mut vars = Vec::new();
         collect_stmt_vars(s, &mut vars);
         if vars.contains(&inner.var) {
-            return Err(Error::Unsupported(format!(
+            return Err(Error::unsupported(format!(
                 "statement outside the inner loop mentions its index `{}`",
                 inner.var
             )));
@@ -166,7 +165,7 @@ pub fn perfect_one_level(l: &Loop) -> Result<Loop> {
             if src_guard && dst_guard && d.src_stmt == d.dst_stmt {
                 continue; // one guard against itself: j is pinned
             }
-            return Err(Error::Unsupported(format!(
+            return Err(Error::unsupported(format!(
                 "sinking statements into doall `{}` would create a \
                  carried dependence on `{}`",
                 inner.var, d.array
@@ -423,7 +422,9 @@ mod tests {
         let (_, l) = loop_of(&p);
         let err = perfect_one_level(&l).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains("exactly one"), "{m}"),
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::ImperfectNest { .. }), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }

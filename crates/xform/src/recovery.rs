@@ -34,9 +34,7 @@ use lc_ir::stmt::Stmt;
 use lc_ir::symbol::Symbol;
 use lc_ir::{Error, Result};
 
-pub use lc_space::{
-    linearize, recover_ceiling, recover_divmod, strides, Odometer, OdometerStats,
-};
+pub use lc_space::{linearize, recover_ceiling, recover_divmod, strides, Odometer, OdometerStats};
 
 /// Total iteration count `N = Π dims[k]`, failing on `i64` overflow.
 pub fn total_iterations(dims: &[u64]) -> Result<u64> {
@@ -92,8 +90,7 @@ pub fn recovery_stmts(
                 } else {
                     let outer = Expr::lit((st[k] * dims[k]) as i64);
                     first_term
-                        - Expr::lit(dims[k] as i64)
-                            * (j.clone().ceil_div(outer) - Expr::lit(1))
+                        - Expr::lit(dims[k] as i64) * (j.clone().ceil_div(outer) - Expr::lit(1))
                 }
             }
             RecoveryScheme::DivMod => {

@@ -71,7 +71,12 @@ pub fn cse_recovery(stmts: &[Stmt], temp_prefix: &str) -> (Vec<Stmt>, CseReport)
         let best = counts
             .into_iter()
             .filter(|(_, c)| *c >= 2)
-            .max_by_key(|(e, c)| ((*c as u64 - 1) * e.op_cost(), std::cmp::Reverse(e.op_cost())));
+            .max_by_key(|(e, c)| {
+                (
+                    (*c as u64 - 1) * e.op_cost(),
+                    std::cmp::Reverse(e.op_cost()),
+                )
+            });
         let Some((pat, _)) = best else { break };
 
         let temp = Symbol::new(format!("{temp_prefix}{hoisted}"));
@@ -253,10 +258,7 @@ mod tests {
 
     #[test]
     fn no_duplicates_means_no_hoisting() {
-        let stmts = vec![Stmt::assign(
-            "x",
-            Expr::var("a").floor_div(Expr::lit(3)),
-        )];
+        let stmts = vec![Stmt::assign("x", Expr::var("a").floor_div(Expr::lit(3)))];
         let (out, report) = cse_recovery(&stmts, "t");
         assert_eq!(report.hoisted, 0);
         assert_eq!(out, stmts);
@@ -295,7 +297,9 @@ mod tests {
         body.extend(out);
         body.push(Stmt::store("OUT", vec![Expr::lit(1)], Expr::var("x")));
         body.push(Stmt::store("OUT", vec![Expr::lit(2)], Expr::var("y")));
-        let prog = Program::new().with_array("OUT", vec![2]).with_stmt_all(body);
+        let prog = Program::new()
+            .with_array("OUT", vec![2])
+            .with_stmt_all(body);
         let store = Interp::new().run(&prog).unwrap();
         let expect = (47 / 3) / 5 + 47 / 3;
         assert_eq!(store.get("OUT", &[1]).unwrap(), expect);

@@ -29,10 +29,12 @@ use crate::normalize::normalize_loop;
 /// does). The loop is normalized first if needed.
 pub fn strip_mine(l: &Loop, block: u64) -> Result<Loop> {
     if block == 0 {
-        return Err(Error::Unsupported("block size must be positive".into()));
+        return Err(Error::unsupported("block size must be positive"));
     }
     let l = normalize_loop(l)?;
-    let n = l.const_trip_count().expect("normalized loop has const trip");
+    let n = l
+        .const_trip_count()
+        .expect("normalized loop has const trip");
     let blocks = if n == 0 {
         0
     } else {

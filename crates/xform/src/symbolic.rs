@@ -27,11 +27,12 @@
 //! uses the same dependence machinery (symbolic bounds are handled
 //! conservatively).
 
-use lc_ir::analysis::nest::extract_nest;
+use lc_ir::analysis::depend::NestDeps;
+use lc_ir::analysis::nest::{extract_nest, Nest};
 use lc_ir::expr::Expr;
 use lc_ir::stmt::{Loop, LoopKind, Stmt};
 use lc_ir::symbol::Symbol;
-use lc_ir::{Error, Result};
+use lc_ir::{Error, Result, SkipReason};
 
 use crate::coalesce::CoalesceOptions;
 use crate::recovery::RecoveryScheme;
@@ -62,21 +63,36 @@ impl SymbolicCoalesce {
 /// Coalesce the whole nest rooted at `l` with possibly-symbolic upper
 /// bounds. Bounds must already be `1..=U step 1` per level; `U` may be
 /// any expression not written inside the nest.
+///
+/// Convenience wrapper over [`coalesce_symbolic_nest`] that extracts the
+/// nest and runs dependence analysis from scratch.
 pub fn coalesce_symbolic(l: &Loop, opts: &CoalesceOptions) -> Result<SymbolicCoalesce> {
     let nest = extract_nest(l);
+    coalesce_symbolic_nest(&nest, None, opts)
+}
+
+/// [`coalesce_symbolic`] on an already-extracted [`Nest`], optionally
+/// reusing a dependence analysis computed elsewhere (e.g. by
+/// `lc-driver`'s analysis cache) instead of re-running it.
+pub fn coalesce_symbolic_nest(
+    nest: &Nest,
+    deps: Option<&NestDeps>,
+    opts: &CoalesceOptions,
+) -> Result<SymbolicCoalesce> {
     let depth = nest.depth();
     let (start, end) = opts.levels.unwrap_or((0, depth));
     if start >= end || end > depth {
-        return Err(Error::Unsupported(format!(
-            "invalid level band [{start}, {end}) for nest of depth {depth}"
-        )));
+        return Err(Error::Unsupported(SkipReason::BandOutOfRange {
+            start,
+            end,
+            depth,
+        }));
     }
     for h in &nest.loops {
         if h.lower.as_const() != Some(1) || h.step.as_const() != Some(1) {
-            return Err(Error::Unsupported(format!(
-                "symbolic coalescing requires `1..=U step 1` loops; `{}` is not",
-                h.var
-            )));
+            return Err(Error::Unsupported(SkipReason::NotUnitNormalized {
+                var: h.var.clone(),
+            }));
         }
     }
     // Upper bounds must be invariant: no bound may mention a variable
@@ -90,42 +106,45 @@ pub fn coalesce_symbolic(l: &Loop, opts: &CoalesceOptions) -> Result<SymbolicCoa
         let mut vars = Vec::new();
         h.upper.variables(&mut vars);
         if let Some(v) = vars.iter().find(|v| assigned.contains(v)) {
-            return Err(Error::Unsupported(format!(
-                "bound of `{}` depends on `{v}`, which the nest modifies",
-                h.var
-            )));
+            return Err(Error::Unsupported(SkipReason::VariantBound {
+                var: h.var.clone(),
+                dep: v.clone(),
+            }));
         }
     }
 
     // Legality: reuse the constant-path checker (dependence analysis is
     // conservative with symbolic bounds).
     if opts.check_legality {
-        let deps = lc_ir::analysis::depend::analyze_nest(&nest)?;
+        let owned;
+        let deps = match deps {
+            Some(d) => d,
+            None => {
+                owned = lc_ir::analysis::depend::analyze_nest(nest)?;
+                &owned
+            }
+        };
         for level in start..end {
             if deps.carried_at(level) {
-                return Err(Error::Unsupported(format!(
-                    "dependence carried at level `{}` forbids coalescing",
-                    nest.loops[level].var
-                )));
+                return Err(Error::Unsupported(SkipReason::CarriedDependence {
+                    level,
+                    var: nest.loops[level].var.clone(),
+                }));
             }
         }
-        crate::coalesce::scalar_privatization_ok(&nest, start, end)?;
+        crate::coalesce::scalar_privatization_ok(nest, start, end)?;
     } else if !nest.loops[start..end].iter().all(|h| h.kind.is_doall()) {
-        return Err(Error::Unsupported(
-            "legality checking disabled and some level is not a doall".into(),
-        ));
+        return Err(Error::Unsupported(SkipReason::NotDoallUnchecked));
     }
 
     // Fresh names for the coalesced index and the stride scalars.
-    let used = all_symbols(&nest);
+    let used = all_symbols(nest);
     let jvar = fresh(&used, "jc");
     let band = &nest.loops[start..end];
     let m = band.len();
 
     // stride[k] = Π_{l>k} U_l  (within the band); total = U_s * stride[s].
-    let stride_names: Vec<Symbol> = (0..m)
-        .map(|k| fresh(&used, &format!("lcs_{k}")))
-        .collect();
+    let stride_names: Vec<Symbol> = (0..m).map(|k| fresh(&used, &format!("lcs_{k}"))).collect();
     let total_name = fresh(&used, "lcs_total");
 
     let mut preamble = Vec::new();
@@ -466,7 +485,9 @@ mod tests {
         let (_, l) = loop_of(&p);
         let err = coalesce_symbolic(&l, &CoalesceOptions::default()).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains("modifies"), "{m}"),
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::VariantBound { .. }), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -516,7 +537,9 @@ mod tests {
         let (_, l) = loop_of(&p);
         let err = coalesce_symbolic(&l, &CoalesceOptions::default()).unwrap_err();
         match err {
-            Error::Unsupported(m) => assert!(m.contains("scalar"), "{m}"),
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::ScalarReduction { .. }), "{m}")
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -55,7 +55,7 @@ pub fn check_equivalent(original: &Program, transformed: &Program, seed: u64) ->
             .with_order(order)
             .run_on(transformed, base.clone())?;
         if got != want {
-            return Err(Error::Unsupported(format!(
+            return Err(Error::unsupported(format!(
                 "transformed program diverges from original under {order:?} (seed {seed})"
             )));
         }
@@ -71,7 +71,7 @@ pub fn check_order_independent(prog: &Program, seed: u64) -> Result<()> {
     for order in [DoallOrder::Reverse, DoallOrder::Shuffled(seed ^ 0x55AA)] {
         let (got, _) = Interp::new().with_order(order).run_on(prog, base.clone())?;
         if got != want {
-            return Err(Error::Unsupported(format!(
+            return Err(Error::unsupported(format!(
                 "program is doall-order dependent (observed under {order:?}, seed {seed})"
             )));
         }
@@ -110,9 +110,7 @@ mod tests {
             }
             ";
         let p = parse_program(src).unwrap();
-        let Stmt::Loop(l) = &p.body[0] else {
-            panic!()
-        };
+        let Stmt::Loop(l) = &p.body[0] else { panic!() };
         let out = coalesce_loop(l, &CoalesceOptions::default()).unwrap();
         let mut p2 = p.clone();
         p2.body[0] = Stmt::Loop(out.transformed);

@@ -53,7 +53,10 @@ fn main() {
         ..Default::default()
     };
     let result = coalesce_advised(l, &params).unwrap();
-    println!("── transformed (band {:?} of depth {}) ──", result.info.levels, result.info.original_depth);
+    println!(
+        "── transformed (band {:?} of depth {}) ──",
+        result.info.levels, result.info.original_depth
+    );
     print!("{}", print_stmt_str(&Stmt::Loop(result.transformed)));
     println!("\nThe advisor collapses only as many levels as the machine needs:");
     println!("more levels would add index-recovery divisions to every iteration");

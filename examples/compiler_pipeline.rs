@@ -1,96 +1,103 @@
-//! The full compiler story on one program: normalization, dependence
-//! analysis, interchange, coalescing, and strength reduction of the
-//! recovery code.
+//! The full compiler story on one program, driven through the
+//! instrumented pass driver (`lc-driver`): normalization, nest
+//! perfection, interchange, coalescing with typed skip diagnostics, and
+//! the per-pass trace with cache counters.
 //!
 //! ```text
 //! cargo run --example compiler_pipeline
 //! ```
 
-use loop_coalescing::ir::analysis::depend::analyze_nest;
-use loop_coalescing::ir::analysis::nest::extract_nest;
-use loop_coalescing::ir::parser::parse_program;
-use loop_coalescing::ir::printer::print_stmt_str;
-use loop_coalescing::ir::Stmt;
-use loop_coalescing::xform::coalesce::{coalesce_loop, CoalesceOptions};
-use loop_coalescing::xform::interchange::interchange;
-use loop_coalescing::xform::recovery::{recovery_stmts, RecoveryScheme};
-use loop_coalescing::xform::strength::cse_recovery;
-use loop_coalescing::xform::stripmine::strip_mine;
-
-fn get_loop(src: &str) -> loop_coalescing::ir::Loop {
-    let p = parse_program(src).unwrap();
-    p.body
-        .iter()
-        .find_map(|s| match s {
-            Stmt::Loop(l) => Some(l.clone()),
-            _ => None,
-        })
-        .expect("program has a loop")
-}
+use loop_coalescing::driver::{Driver, DriverOptions};
+use loop_coalescing::xform::coalesce::CoalesceOptions;
 
 fn main() {
-    // ── 1. dependence analysis: what is parallel here? ──────────────────
-    let l = get_loop(
-        "
-        array A[64][64];
-        for i = 2..64 {
-            for j = 1..64 {
-                A[i][j] = A[i - 1][j] + 1;
+    // ── 1. the default pipeline on a mixed program ──────────────────────
+    //
+    // Three top-level nests: a clean doall nest (coalesces), a column
+    // recurrence (interchange moves the parallel level outward, but the
+    // full band still carries, so it is skipped with a typed reason),
+    // and a symbolic-bound nest (falls back to symbolic coalescing).
+    let src = "
+        array A[20][30];
+        array R[16][16];
+        array S[12][9];
+        n = 12;
+        m = 9;
+        doall i = 1..20 {
+            doall j = 1..30 {
+                A[i][j] = i * j;
             }
         }
-        ",
-    );
-    let nest = extract_nest(&l);
-    let deps = analyze_nest(&nest).unwrap();
-    println!("── column recurrence A[i][j] = A[i-1][j] + 1 ────────────");
-    println!("parallelizable levels: {:?}  (i carries, j is free)", deps.parallelizable_levels());
-
-    // ── 2. interchange moves the parallel loop outward ──────────────────
-    let swapped = interchange(&l, 0).unwrap();
-    println!("\nafter interchange (j now outermost, legal: direction (<,=)):");
-    print!("{}", print_stmt_str(&Stmt::Loop(swapped)));
-
-    // Coalescing the whole nest is — correctly — refused:
-    let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
-    println!("\ncoalescing the whole recurrence nest is rejected:\n  {err}");
-
-    // ── 3. a legal nest: normalize, coalesce, strength-reduce ───────────
-    let l = get_loop(
-        "
-        array B[100][40];
-        doall i = 3..21 step 2 {
-            doall j = 4..40 step 3 {
-                B[i][j] = i * j;
+        for i = 2..16 {
+            for j = 1..16 {
+                R[i][j] = R[i - 1][j] + j;
             }
         }
-        ",
-    );
-    println!("\n── strided doall nest ───────────────────────────────────");
-    print!("{}", print_stmt_str(&Stmt::Loop(l.clone())));
-    let out = coalesce_loop(&l, &CoalesceOptions::default()).unwrap();
-    println!("\nnormalized and coalesced ({} iterations):", out.info.total_iterations);
-    print!("{}", print_stmt_str(&Stmt::Loop(out.transformed.clone())));
+        doall i = 1..n {
+            doall j = 1..m {
+                S[i][j] = i * 100 + j;
+            }
+        }
+    ";
+    let driver = Driver::default();
+    let out = driver.compile(src).unwrap();
 
-    // ── 4. strength reduction on deep-nest recovery code ────────────────
-    let dims = [6u64, 5, 4, 3];
-    let j = loop_coalescing::ir::Symbol::new("j");
-    let vars: Vec<_> = ["i1", "i2", "i3", "i4"]
-        .iter()
-        .map(loop_coalescing::ir::Symbol::new)
+    println!("── transformed program ──────────────────────────────────");
+    print!("{}", out.transformed_source);
+
+    println!("\n── typed skip diagnostics ───────────────────────────────");
+    for skip in &out.skipped {
+        println!("nest {}: {}", skip.nest, skip);
+    }
+
+    // ── 2. per-pass observability ───────────────────────────────────────
+    //
+    // Every pass invocation is timed and recorded; analyses (extraction,
+    // normalization, dependence testing) are cached per nest, so the
+    // counters show each one computed at most once per nest.
+    println!("\n── pipeline trace ───────────────────────────────────────");
+    print!("{}", out.trace.report());
+
+    // The trace serializes without serde (hand-rolled JSON — the build
+    // is fully offline) and round-trips:
+    let json = out.trace.to_json_string();
+    let back = loop_coalescing::driver::PipelineTrace::from_json_string(&json).unwrap();
+    assert_eq!(back.cache, out.trace.cache);
+    println!("\ntrace JSON: {} bytes, round-trips OK", json.len());
+
+    // ── 3. facade-compatible mode ───────────────────────────────────────
+    //
+    // DriverOptions::facade_compat reproduces the seed `coalesce_source`
+    // pipeline byte for byte: coalesce + validate only, no structural
+    // enabling passes.
+    let compat = Driver::new(DriverOptions::facade_compat(CoalesceOptions::default()))
+        .compile(src)
+        .unwrap();
+    println!(
+        "\nfacade-compat mode: {} coalesced, {} skipped (same as coalesce_source)",
+        compat.coalesced.len(),
+        compat.skipped.len()
+    );
+
+    // ── 4. parallel batch compilation ───────────────────────────────────
+    //
+    // The batch compiler is itself a self-scheduled loop — workers pull
+    // the next program index from one shared atomic counter, the
+    // software analogue of the paper's fetch&add dispatcher. Results
+    // keep input order and match sequential compilation exactly.
+    let programs: Vec<String> = (1..=64)
+        .map(|k| {
+            format!("array B[{k}][8]; doall i = 1..{k} {{ doall j = 1..8 {{ B[i][j] = i + j; }} }}")
+        })
         .collect();
-    let raw = recovery_stmts(RecoveryScheme::Ceiling, &j, &vars, &dims);
-    let (optimized, report) = cse_recovery(&raw, "t");
-    println!("\n── recovery code for a depth-4 nest (dims {dims:?}) ─────");
-    for s in &raw {
-        print!("  {}", print_stmt_str(s));
-    }
-    println!("after CSE ({} temps, cost {} → {}):", report.hoisted, report.cost_before, report.cost_after);
-    for s in &optimized {
-        print!("  {}", print_stmt_str(s));
-    }
-
-    // ── 5. chunking: strip-mine the coalesced loop ──────────────────────
-    let mined = strip_mine(&out.transformed, 16).unwrap();
-    println!("\n── coalesced loop strip-mined into chunks of 16 ─────────");
-    print!("{}", print_stmt_str(&Stmt::Loop(mined)));
+    let results = driver.compile_batch(&programs);
+    let coalesced = results
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|o| !o.coalesced.is_empty()))
+        .count();
+    println!(
+        "\nbatch: compiled {} programs in parallel, {} coalesced",
+        results.len(),
+        coalesced
+    );
 }

@@ -24,13 +24,13 @@ fn main() {
     println!("── matmul (i, j) nest before ────────────────────────────");
     print!("{}", print_stmt_str(&Stmt::Loop(target.clone())));
 
-    let opts = CoalesceOptions {
-        levels: kernel.band,
-        ..Default::default()
-    };
+    let opts = CoalesceOptions::builder().levels_opt(kernel.band).build();
     let result = coalesce_loop(&target, &opts).expect("matmul nest must coalesce");
     println!("\n── after coalescing (k-reduction stays serial inside) ───");
-    print!("{}", print_stmt_str(&Stmt::Loop(result.transformed.clone())));
+    print!(
+        "{}",
+        print_stmt_str(&Stmt::Loop(result.transformed.clone()))
+    );
 
     // Verify by running both programs.
     let mut transformed_prog = kernel.program.clone();
@@ -45,31 +45,58 @@ fn main() {
     let a_mat = gen_a(n, k);
     let b_mat = gen_b(k, m);
     let want = matmul_serial(&a_mat, &b_mat, n, m, k);
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4);
     let dims = [n as u64, m as u64];
 
     println!("\n── real threads: {n}x{m}x{k} matmul, {threads} workers ──");
     println!("  {:<22} {:>10}  {:>8}", "strategy", "time", "chunks");
     let report = |name: &str, elapsed: Duration, chunks: u64, c: &AtomicMatrix| {
         assert_eq!(c.snapshot(), want, "{name} computed a wrong product");
-        println!("  {:<22} {:>8.2}ms  {:>8}", name, elapsed.as_secs_f64() * 1e3, chunks);
+        println!(
+            "  {:<22} {:>8.2}ms  {:>8}",
+            name,
+            elapsed.as_secs_f64() * 1e3,
+            chunks
+        );
     };
 
-    for policy in [PolicyKind::SelfSched, PolicyKind::Chunked(64), PolicyKind::Guided] {
+    for policy in [
+        PolicyKind::SelfSched,
+        PolicyKind::Chunked(64),
+        PolicyKind::Guided,
+    ] {
         let c = AtomicMatrix::zeroed(n, m);
         let opts = RuntimeOptions { threads, policy };
         let stats = coalesced_for(&dims, &opts, |iv| matmul_cell(&a_mat, &b_mat, &c, k, iv));
-        report(&format!("coalesced {}", policy.name()), stats.elapsed, stats.total_chunks(), &c);
+        report(
+            &format!("coalesced {}", policy.name()),
+            stats.elapsed,
+            stats.total_chunks(),
+            &c,
+        );
     }
     {
         let c = AtomicMatrix::zeroed(n, m);
-        let opts = RuntimeOptions { threads, policy: PolicyKind::Guided };
+        let opts = RuntimeOptions {
+            threads,
+            policy: PolicyKind::Guided,
+        };
         let stats = outer_for(&dims, &opts, |iv| matmul_cell(&a_mat, &b_mat, &c, k, iv));
-        report("outer-parallel GSS", stats.elapsed, stats.total_chunks(), &c);
+        report(
+            "outer-parallel GSS",
+            stats.elapsed,
+            stats.total_chunks(),
+            &c,
+        );
     }
     {
         let c = AtomicMatrix::zeroed(n, m);
-        let opts = RuntimeOptions { threads, policy: PolicyKind::SelfSched };
+        let opts = RuntimeOptions {
+            threads,
+            policy: PolicyKind::SelfSched,
+        };
         let stats = inner_sweep_for(&dims, &opts, |iv| matmul_cell(&a_mat, &b_mat, &c, k, iv));
         report("fork-join per row", stats.elapsed, stats.total_chunks(), &c);
     }

@@ -26,16 +26,15 @@ fn main() {
         ",
     )
     .unwrap();
-    let Stmt::Loop(l) = &naive.body[1] else { panic!() };
+    let Stmt::Loop(l) = &naive.body[1] else {
+        panic!()
+    };
     let err = coalesce_loop(l, &CoalesceOptions::default()).unwrap_err();
     println!("naive reduction inside a doall is rejected:\n  {err}\n");
 
     // ── 2. the partial-sum kernel coalesces fine ─────────────────────────
     let kernel = pi_partial_sums(8, 4096);
-    let opts = CoalesceOptions {
-        levels: kernel.band,
-        ..Default::default()
-    };
+    let opts = CoalesceOptions::builder().levels_opt(kernel.band).build();
     let result = coalesce_loop(kernel.target_loop(), &opts).unwrap();
     let mut transformed = kernel.program.clone();
     transformed.body[kernel.loop_index] = Stmt::Loop(result.transformed);

@@ -27,9 +27,19 @@ fn main() {
 
     for info in &out.coalesced {
         println!("\n── what happened ────────────────────────────────────────");
-        println!("  coalesced levels : {:?} of a depth-{} nest", info.levels, info.original_depth);
-        println!("  trip counts      : {:?}  →  one loop of {} iterations", info.dims, info.total_iterations);
-        println!("  recovery scheme  : {} ({} abstract ops/iteration)", info.scheme.name(), info.recovery_cost_per_iteration);
+        println!(
+            "  coalesced levels : {:?} of a depth-{} nest",
+            info.levels, info.original_depth
+        );
+        println!(
+            "  trip counts      : {:?}  →  one loop of {} iterations",
+            info.dims, info.total_iterations
+        );
+        println!(
+            "  recovery scheme  : {} ({} abstract ops/iteration)",
+            info.scheme.name(),
+            info.recovery_cost_per_iteration
+        );
         println!("  new index        : {}", info.coalesced_var);
     }
     println!("\nThe rewrite was validated against the reference interpreter");

@@ -16,7 +16,10 @@ use loop_coalescing::xform::recovery::{per_iteration_cost, RecoveryScheme};
 
 fn main() {
     let dims = [64u64, 64];
-    let model = WorkModel::TriangularMask { heavy: 100, light: 1 };
+    let model = WorkModel::TriangularMask {
+        heavy: 100,
+        light: 1,
+    };
     let cost = CostModel::default();
     let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
     let body = move |iv: &[i64]| model.cost(iv);
@@ -26,19 +29,37 @@ fn main() {
     println!("sequential time: {seq} abstract instructions\n");
 
     let modes: Vec<(&str, ExecMode)> = vec![
-        ("outer-parallel, static block", ExecMode::OuterParallel {
-            schedule: LoopSchedule::Static(StaticKind::Block),
-        }),
-        ("outer-parallel, self-sched", ExecMode::OuterParallel {
-            schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
-        }),
-        ("coalesced, static block", ExecMode::Coalesced {
-            schedule: LoopSchedule::Static(StaticKind::Block),
-            recovery_cost: rec,
-        }),
-        ("coalesced, CSS(32)", ExecMode::coalesced(PolicyKind::Chunked(32), rec)),
-        ("coalesced, GSS", ExecMode::coalesced(PolicyKind::Guided, rec)),
-        ("coalesced, factoring", ExecMode::coalesced(PolicyKind::Factoring, rec)),
+        (
+            "outer-parallel, static block",
+            ExecMode::OuterParallel {
+                schedule: LoopSchedule::Static(StaticKind::Block),
+            },
+        ),
+        (
+            "outer-parallel, self-sched",
+            ExecMode::OuterParallel {
+                schedule: LoopSchedule::Dynamic(PolicyKind::SelfSched),
+            },
+        ),
+        (
+            "coalesced, static block",
+            ExecMode::Coalesced {
+                schedule: LoopSchedule::Static(StaticKind::Block),
+                recovery_cost: rec,
+            },
+        ),
+        (
+            "coalesced, CSS(32)",
+            ExecMode::coalesced(PolicyKind::Chunked(32), rec),
+        ),
+        (
+            "coalesced, GSS",
+            ExecMode::coalesced(PolicyKind::Guided, rec),
+        ),
+        (
+            "coalesced, factoring",
+            ExecMode::coalesced(PolicyKind::Factoring, rec),
+        ),
     ];
 
     println!(

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use lc_driver as driver;
 pub use lc_ir as ir;
 pub use lc_machine as machine;
 pub use lc_runtime as runtime;
@@ -52,13 +53,12 @@ pub use lc_space as space;
 pub use lc_workloads as workloads;
 pub use lc_xform as xform;
 
-use lc_ir::parser::parse_program;
-use lc_ir::printer::print_program;
+use lc_driver::{Driver, DriverOptions};
 use lc_ir::program::Program;
-use lc_ir::stmt::Stmt;
-use lc_ir::{Error, Result};
+use lc_ir::{Error, Result, SkipReason};
 use lc_xform::coalesce::{coalesce_loop, CoalesceInfo, CoalesceOptions};
-use lc_xform::validate::check_equivalent;
+
+pub use lc_driver::Skip;
 
 /// Outcome of the end-to-end source pipeline.
 #[derive(Debug, Clone)]
@@ -72,8 +72,11 @@ pub struct PipelineResult {
     /// reports empty `dims` and zero `total_iterations` — the counts are
     /// computed by the emitted preamble, not known statically.
     pub coalesced: Vec<CoalesceInfo>,
-    /// Top-level loops that were left alone (with the reason).
-    pub skipped: Vec<(usize, String)>,
+    /// Top-level loops that were left alone, with typed diagnostics
+    /// ([`Skip::reason`] plus the symbolic fallback's reason when that
+    /// was tried too). `Display` renders the same messages the pipeline
+    /// has always reported.
+    pub skipped: Vec<Skip>,
 }
 
 /// Parse DSL source, coalesce every top-level loop nest whose levels can
@@ -84,6 +87,11 @@ pub struct PipelineResult {
 /// scalar reductions) are left untouched and reported in
 /// [`PipelineResult::skipped`] — the pipeline never fails on a legal
 /// program just because a loop is not transformable.
+///
+/// This is a thin wrapper over [`lc_driver::Driver`] in its
+/// facade-compatible configuration; use the driver directly for the
+/// per-pass trace, cache counters, enabling passes (perfection,
+/// interchange, analytic band advice), and parallel batch compilation.
 pub fn coalesce_source(src: &str) -> Result<PipelineResult> {
     coalesce_source_with(src, &CoalesceOptions::default())
 }
@@ -91,73 +99,13 @@ pub fn coalesce_source(src: &str) -> Result<PipelineResult> {
 /// [`coalesce_source`] with explicit options. `options.levels` applies to
 /// every nest (use the lower-level API for per-nest bands).
 pub fn coalesce_source_with(src: &str, options: &CoalesceOptions) -> Result<PipelineResult> {
-    let original = parse_program(src)?;
-    let mut transformed = original.clone();
-    transformed.body.clear();
-    let mut coalesced = Vec::new();
-    let mut skipped = Vec::new();
-
-    for (idx, stmt) in original.body.iter().enumerate() {
-        let Stmt::Loop(l) = stmt else {
-            transformed.body.push(stmt.clone());
-            continue;
-        };
-        // Per-nest band validation: options.levels may not fit this nest.
-        let mut opts = options.clone();
-        if let Some((s, e)) = opts.levels {
-            let depth = lc_ir::analysis::nest::extract_nest(l).depth();
-            if e > depth || s >= e {
-                opts.levels = None;
-            }
-        }
-        match coalesce_loop(l, &opts) {
-            Ok(result) => {
-                transformed.body.push(Stmt::Loop(result.transformed));
-                coalesced.push(result.info);
-            }
-            Err(Error::Unsupported(reason)) if reason.contains("symbolic") => {
-                // Constant-bound coalescing needs trip counts; fall back
-                // to the symbolic path (runtime stride computation).
-                match lc_xform::symbolic::coalesce_symbolic(l, &opts) {
-                    Ok(sym) => {
-                        transformed.body.extend(sym.stmts());
-                        coalesced.push(CoalesceInfo {
-                            dims: Vec::new(),
-                            total_iterations: 0,
-                            scheme: opts.scheme,
-                            recovery_cost_per_iteration: 0,
-                            levels: opts
-                                .levels
-                                .unwrap_or((0, lc_ir::analysis::nest::extract_nest(l).depth())),
-                            original_depth: lc_ir::analysis::nest::extract_nest(l).depth(),
-                            coalesced_var: sym.coalesced_var,
-                        });
-                    }
-                    Err(Error::Unsupported(r2)) => {
-                        transformed.body.push(stmt.clone());
-                        skipped.push((idx, format!("{reason}; symbolic fallback: {r2}")));
-                    }
-                    Err(other) => return Err(other),
-                }
-            }
-            Err(Error::Unsupported(reason)) => {
-                transformed.body.push(stmt.clone());
-                skipped.push((idx, reason));
-            }
-            Err(other) => return Err(other),
-        }
-    }
-
-    // Belt and braces: the rewritten program must agree with the original.
-    if !coalesced.is_empty() {
-        check_equivalent(&original, &transformed, 0xC0A1E5CE)?;
-    }
-
+    let driver = Driver::new(DriverOptions::facade_compat(options.clone()));
+    let out = driver.compile(src)?;
     Ok(PipelineResult {
-        transformed_source: print_program(&transformed),
-        transformed,
-        coalesced,
-        skipped,
+        transformed: out.transformed,
+        transformed_source: out.transformed_source,
+        coalesced: out.coalesced,
+        skipped: out.skipped,
     })
 }
 
@@ -176,13 +124,11 @@ pub fn advise_collapse(
     let nest = normalize_nest(&extract_nest(l))?;
     let dims = nest
         .trip_counts()
-        .ok_or_else(|| Error::Unsupported("nest has symbolic bounds".into()))?;
+        .ok_or(Error::Unsupported(SkipReason::SymbolicBounds))?;
     let deps = analyze_nest(&nest)?;
     let legal: Vec<bool> = (0..nest.depth()).map(|k| !deps.carried_at(k)).collect();
     if !legal.iter().any(|&x| x) {
-        return Err(Error::Unsupported(
-            "every level carries a dependence; nothing to coalesce".into(),
-        ));
+        return Err(Error::Unsupported(SkipReason::NothingLegal));
     }
     Ok(sched::advise::advise(&dims, &legal, params, &|band| {
         per_iteration_cost(RecoveryScheme::Ceiling, band)
@@ -198,16 +144,17 @@ pub fn coalesce_advised(
     let advice = advise_collapse(l, params)?;
     coalesce_loop(
         l,
-        &CoalesceOptions {
-            levels: Some(advice.band),
-            ..Default::default()
-        },
+        &CoalesceOptions::builder()
+            .levels(advice.band.0, advice.band.1)
+            .build(),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lc_ir::parser::parse_program;
+    use lc_ir::stmt::Stmt;
 
     #[test]
     fn pipeline_coalesces_eligible_nest() {
@@ -247,7 +194,11 @@ mod tests {
         .unwrap();
         assert_eq!(out.coalesced.len(), 1);
         assert_eq!(out.skipped.len(), 1);
-        assert!(out.skipped[0].1.contains("carried"));
+        assert!(out.skipped[0].to_string().contains("carried"));
+        assert!(matches!(
+            out.skipped[0].reason,
+            SkipReason::CarriedDependence { level: 0, .. }
+        ));
     }
 
     #[test]
@@ -260,10 +211,7 @@ mod tests {
 
     #[test]
     fn pipeline_band_too_deep_falls_back_to_full_nest() {
-        let opts = CoalesceOptions {
-            levels: Some((0, 5)),
-            ..Default::default()
-        };
+        let opts = CoalesceOptions::builder().levels(0, 5).build();
         let out = coalesce_source_with(
             "
             array A[4][4];

@@ -43,14 +43,16 @@ fn spec() -> impl Strategy<Value = Spec> {
                 proptest::bool::ANY,
             )
         })
-        .prop_map(|(dims, write_off, read_off, read_same, transpose_read)| Spec {
-            dims,
-            write_off,
-            read_off,
-            read_same,
-            transpose_read,
-        })
-    }
+        .prop_map(
+            |(dims, write_off, read_off, read_same, transpose_read)| Spec {
+                dims,
+                write_off,
+                read_off,
+                read_same,
+                transpose_read,
+            },
+        )
+}
 
 /// Build the program: `A[iv + w] = B-or-A[iv + r] + 1` inside the nest.
 /// Subscripts are shifted by +3 so every offset stays in bounds.

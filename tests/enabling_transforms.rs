@@ -107,14 +107,7 @@ fn interchange_then_coalesce_inner_band() {
 
     let swapped = interchange(&loop_at(&p, 0), 0).unwrap();
     assert_eq!(swapped.var.as_str(), "j");
-    let out = coalesce_loop(
-        &swapped,
-        &CoalesceOptions {
-            levels: Some((0, 1)),
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let out = coalesce_loop(&swapped, &CoalesceOptions::builder().levels(0, 1).build()).unwrap();
 
     let mut p2 = p.clone();
     p2.body[0] = Stmt::Loop(out.transformed);

@@ -130,10 +130,7 @@ fn mixed_program_transforms_only_what_is_legal() {
 fn deep_nest_partial_collapse_through_public_api() {
     use loop_coalescing::coalesce_source_with;
     use loop_coalescing::xform::coalesce::CoalesceOptions;
-    let opts = CoalesceOptions {
-        levels: Some((0, 2)),
-        ..Default::default()
-    };
+    let opts = CoalesceOptions::builder().levels(0, 2).build();
     let out = coalesce_source_with(
         "
         array V[4][5][6];

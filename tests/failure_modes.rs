@@ -108,10 +108,7 @@ fn step_budget_guards_against_runaway_transformed_loops() {
 #[test]
 fn coalesce_error_messages_name_the_obstacle() {
     let cases = [
-        (
-            "array A[8]; for i = 2..8 { A[i] = A[i - 1]; }",
-            "carried",
-        ),
+        ("array A[8]; for i = 2..8 { A[i] = A[i - 1]; }", "carried"),
         (
             "array A[8]; s = 0; for i = 1..8 { s = s + A[i]; }",
             "scalar",
@@ -129,7 +126,8 @@ fn coalesce_error_messages_name_the_obstacle() {
             .unwrap();
         match coalesce_loop(l, &CoalesceOptions::default()) {
             Err(Error::Unsupported(m)) => {
-                assert!(m.contains(needle), "message `{m}` lacks `{needle}`")
+                let msg = m.to_string();
+                assert!(msg.contains(needle), "message `{msg}` lacks `{needle}`")
             }
             other => panic!("expected Unsupported, got {other:?}"),
         }

@@ -8,10 +8,7 @@ use loop_coalescing::xform::coalesce::{coalesce_loop, CoalesceOptions};
 use loop_coalescing::xform::validate::{check_equivalent, check_order_independent};
 
 fn coalesce_kernel(kernel: &kernels::Kernel) -> loop_coalescing::ir::Program {
-    let opts = CoalesceOptions {
-        levels: kernel.band,
-        ..Default::default()
-    };
+    let opts = CoalesceOptions::builder().levels_opt(kernel.band).build();
     let result = coalesce_loop(kernel.target_loop(), &opts)
         .unwrap_or_else(|e| panic!("kernel `{}` failed to coalesce: {e}", kernel.name));
     assert_eq!(
@@ -51,11 +48,10 @@ fn divmod_scheme_agrees_with_ceiling_scheme_on_kernels() {
     for kernel in kernels::all_small() {
         let mut outputs = Vec::new();
         for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
-            let opts = CoalesceOptions {
-                levels: kernel.band,
-                scheme,
-                ..Default::default()
-            };
+            let opts = CoalesceOptions::builder()
+                .levels_opt(kernel.band)
+                .scheme(scheme)
+                .build();
             let result = coalesce_loop(kernel.target_loop(), &opts).unwrap();
             let mut transformed = kernel.program.clone();
             transformed.body[kernel.loop_index] = Stmt::Loop(result.transformed);
@@ -71,10 +67,7 @@ fn matmul_partial_bands_all_work() {
     // all be legal and equivalent.
     let kernel = kernels::matmul(5, 4, 3);
     for band in [(0usize, 1usize), (1, 2), (0, 2)] {
-        let opts = CoalesceOptions {
-            levels: Some(band),
-            ..Default::default()
-        };
+        let opts = CoalesceOptions::builder().levels(band.0, band.1).build();
         let result = coalesce_loop(kernel.target_loop(), &opts)
             .unwrap_or_else(|e| panic!("band {band:?}: {e}"));
         let mut transformed = kernel.program.clone();

@@ -113,7 +113,7 @@ proptest! {
         let Stmt::Loop(target) = &prog.body[idx] else { unreachable!() };
 
         for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
-            let opts = CoalesceOptions { scheme, ..Default::default() };
+            let opts = CoalesceOptions::builder().scheme(scheme).build();
             let result = coalesce_loop(target, &opts).expect("independent nest must coalesce");
             let mut transformed = prog.clone();
             transformed.body[idx] = Stmt::Loop(result.transformed);
@@ -135,10 +135,7 @@ proptest! {
         let start = band_seed % depth;
         let end = start + 1 + (band_seed / depth) % (depth - start);
 
-        let opts = CoalesceOptions {
-            levels: Some((start, end)),
-            ..Default::default()
-        };
+        let opts = CoalesceOptions::builder().levels(start, end).build();
         let result = coalesce_loop(target, &opts).expect("band must coalesce");
         let mut transformed = prog.clone();
         transformed.body[idx] = Stmt::Loop(result.transformed);
