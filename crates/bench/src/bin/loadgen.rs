@@ -1,0 +1,134 @@
+//! `lc-loadgen` — replay the 72-program benchmark corpus against the
+//! compile server and report throughput and latency quantiles.
+//!
+//! ```text
+//! lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N]
+//!            [--workers N] [--out PATH]
+//! ```
+//!
+//! Without `--addr` the generator starts an in-process server (with
+//! `--workers` compile workers) on a loopback port, drives it, and
+//! shuts it down — one command produces a complete benchmark. The
+//! report is printed human-readably and written as JSON to `--out`
+//! (default `BENCH_service.json`).
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use lc_service::corpus::corpus72;
+use lc_service::loadgen::{run, LoadgenConfig};
+use lc_service::{Server, ServiceConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N] [--workers N] [--out PATH]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadgenConfig::default();
+    let mut addr: Option<SocketAddr> = None;
+    let mut workers = 4usize;
+    let mut out_path = "BENCH_service.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return usage();
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("lc-loadgen: {flag} needs a value");
+            return usage();
+        };
+        match flag {
+            "--addr" => match value.parse() {
+                Ok(a) => addr = Some(a),
+                Err(_) => {
+                    eprintln!("lc-loadgen: bad --addr {value}");
+                    return usage();
+                }
+            },
+            "--concurrency" => match value.parse() {
+                Ok(n) => config.concurrency = n,
+                Err(_) => return usage(),
+            },
+            "--rounds" => match value.parse() {
+                Ok(n) => config.rounds = n,
+                Err(_) => return usage(),
+            },
+            "--workers" => match value.parse() {
+                Ok(n) => workers = n,
+                Err(_) => return usage(),
+            },
+            "--out" => out_path = value.clone(),
+            _ => {
+                eprintln!("lc-loadgen: unknown flag {flag}");
+                return usage();
+            }
+        }
+        i += 2;
+    }
+
+    // Either drive an already-running server or bring up our own.
+    let own_server = match addr {
+        Some(_) => None,
+        None => {
+            let server = match Server::start(
+                ServiceConfig {
+                    workers,
+                    ..ServiceConfig::default()
+                },
+                "127.0.0.1:0",
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lc-loadgen: cannot start in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            addr = Some(server.addr());
+            Some(server)
+        }
+    };
+    let addr = addr.expect("address resolved above");
+
+    let corpus = corpus72();
+    eprintln!(
+        "lc-loadgen: {} programs x {} rounds at concurrency {} against {addr}",
+        corpus.len(),
+        config.rounds,
+        config.concurrency
+    );
+    let report = run(addr, &corpus, &config);
+
+    if let Some(server) = own_server {
+        server.shutdown();
+    }
+
+    println!("requests    : {}", report.requests);
+    println!("  200 OK    : {}", report.ok_200);
+    println!("  429 shed  : {}", report.shed_429);
+    println!("  other     : {}", report.other);
+    println!("cache hits  : {}", report.cache_hits_observed);
+    println!("elapsed     : {} us", report.elapsed_micros);
+    println!(
+        "throughput  : {}.{:03} req/s",
+        report.throughput_milli_rps / 1000,
+        report.throughput_milli_rps % 1000
+    );
+    println!("p50 latency : {} us", report.p50_micros);
+    println!("p95 latency : {} us", report.p95_micros);
+    println!("p99 latency : {} us", report.p99_micros);
+    println!("max latency : {} us", report.max_micros);
+
+    let json = report.to_json().to_string();
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("lc-loadgen: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("lc-loadgen: wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,12 @@
 //! arrays, and objects. Floats are deliberately unsupported — every
 //! number the driver emits (counters, nanosecond timings, nest indices)
 //! is integral, and keeping integers exact makes round-trips lossless.
+//!
+//! Parsing reports a typed [`ParseError`]; in particular integer
+//! literals outside `i64` are rejected with
+//! [`ParseError::IntOutOfRange`] rather than whatever `from_str` would
+//! say, and `\uXXXX` escapes understand UTF-16 surrogate pairs (a lone
+//! surrogate is [`ParseError::LoneSurrogate`]).
 
 use std::fmt;
 
@@ -27,6 +33,98 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object, as ordered key/value pairs.
     Obj(Vec<(String, Json)>),
+}
+
+/// Why a JSON document failed to parse. Every variant carries the byte
+/// offset where the problem was detected (except end-of-input errors,
+/// which have no position past the end to point at).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// An all-digit integer literal that does not fit in `i64`.
+    IntOutOfRange {
+        /// The offending literal text.
+        literal: String,
+        /// Byte offset of the literal.
+        at: usize,
+    },
+    /// A number with a fraction or exponent (floats are unsupported).
+    Float {
+        /// Byte offset of the `.`/`e`/`E`.
+        at: usize,
+    },
+    /// A misspelled `null` / `true` / `false`.
+    InvalidLiteral {
+        /// Byte offset of the literal.
+        at: usize,
+    },
+    /// A byte that cannot start or continue a value.
+    Unexpected {
+        /// Byte offset of the unexpected input.
+        at: usize,
+    },
+    /// A specific punctuation byte was required.
+    Expected {
+        /// What was required (rendered for messages, e.g. "`,` or `]`").
+        what: &'static str,
+        /// Byte offset where it was required.
+        at: usize,
+    },
+    /// Input ended inside a string literal.
+    UnterminatedString,
+    /// An unknown `\x` escape.
+    UnknownEscape {
+        /// The escaped byte, as a char.
+        escape: char,
+    },
+    /// A `\u` escape that is truncated or not four hex digits.
+    BadUnicodeEscape {
+        /// Byte offset of the escape payload.
+        at: usize,
+    },
+    /// A UTF-16 surrogate (`\uD800`–`\uDFFF`) without its partner: a
+    /// high surrogate not followed by a low one, or a bare low
+    /// surrogate.
+    LoneSurrogate {
+        /// The surrogate code unit.
+        code: u16,
+    },
+    /// Bytes after the end of the document.
+    TrailingInput {
+        /// Byte offset of the first trailing byte.
+        at: usize,
+    },
+    /// A string literal containing invalid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::IntOutOfRange { literal, at } => {
+                write!(f, "integer `{literal}` out of i64 range (byte {at})")
+            }
+            ParseError::Float { at } => write!(f, "floats are unsupported (byte {at})"),
+            ParseError::InvalidLiteral { at } => write!(f, "invalid literal at byte {at}"),
+            ParseError::Unexpected { at } => write!(f, "unexpected input at byte {at}"),
+            ParseError::Expected { what, at } => write!(f, "expected {what} at byte {at}"),
+            ParseError::UnterminatedString => write!(f, "unterminated string"),
+            ParseError::UnknownEscape { escape } => write!(f, "unknown escape `\\{escape}`"),
+            ParseError::BadUnicodeEscape { at } => write!(f, "bad \\u escape at byte {at}"),
+            ParseError::LoneSurrogate { code } => {
+                write!(f, "lone UTF-16 surrogate \\u{code:04x}")
+            }
+            ParseError::TrailingInput { at } => write!(f, "trailing input at byte {at}"),
+            ParseError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for String {
+    fn from(e: ParseError) -> String {
+        e.to_string()
+    }
 }
 
 impl Json {
@@ -88,7 +186,7 @@ impl Json {
     }
 
     /// Parse a JSON document.
-    pub fn parse(src: &str) -> Result<Json, String> {
+    pub fn parse(src: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
@@ -97,7 +195,7 @@ impl Json {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing input at byte {}", p.pos));
+            return Err(ParseError::TrailingInput { at: p.pos });
         }
         Ok(v)
     }
@@ -167,25 +265,25 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            Err(ParseError::Expected { what, at: self.pos })
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(ParseError::InvalidLiteral { at: self.pos })
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, ParseError> {
         self.skip_ws();
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
@@ -195,44 +293,95 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            _ => Err(ParseError::Unexpected { at: self.pos }),
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        let digits_start = self.pos;
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        if self.pos == digits_start {
+            // A bare `-` with no digits.
+            return Err(ParseError::Unexpected { at: self.pos });
+        }
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return Err(format!("floats are unsupported (byte {})", self.pos));
+            return Err(ParseError::Float { at: self.pos });
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The literal is sign + digits only, so the sole possible
+        // `from_str` failure is i64 overflow — report it as such instead
+        // of leaking `ParseIntError`'s message.
         text.parse::<i64>()
             .map(Json::Int)
-            .map_err(|e| format!("bad integer `{text}`: {e}"))
+            .map_err(|_| ParseError::IntOutOfRange {
+                literal: text.to_string(),
+                at: start,
+            })
     }
 
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+    /// Four hex digits of a `\u` escape (the `\u` itself already eaten).
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let at = self.pos;
+        if self.pos + 4 > self.bytes.len() {
+            return Err(ParseError::BadUnicodeEscape { at });
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| ParseError::BadUnicodeEscape { at })?;
+        // `from_str_radix` tolerates a leading `+`; JSON does not.
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseError::BadUnicodeEscape { at });
+        }
+        let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError::BadUnicodeEscape { at })?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// A `\uXXXX` escape, combining UTF-16 surrogate pairs into their
+    /// code point (`\ud83d\ude00` → 😀). Unpaired surrogates are typed
+    /// errors, not replacement characters.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let code = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&code) {
+            return Err(ParseError::LoneSurrogate { code: code as u16 });
+        }
+        if (0xD800..=0xDBFF).contains(&code) {
+            let high = code;
+            if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return Err(ParseError::LoneSurrogate { code: high as u16 });
+            }
+            self.pos += 2;
+            let low = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err(ParseError::LoneSurrogate { code: high as u16 });
+            }
+            let combined = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+            // Surrogate-pair arithmetic lands in 0x10000..=0x10FFFF,
+            // which is always a valid char.
+            return Ok(char::from_u32(combined).unwrap());
+        }
+        // A BMP non-surrogate code unit is always a valid char.
+        Ok(char::from_u32(code).unwrap())
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "`\"`")?;
         let mut out = String::new();
         loop {
             let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                .map_err(|_| "invalid UTF-8".to_string())?;
+                .map_err(|_| ParseError::InvalidUtf8)?;
             let mut chars = rest.char_indices();
-            let (_, c) = chars
-                .next()
-                .ok_or_else(|| "unterminated string".to_string())?;
+            let (_, c) = chars.next().ok_or(ParseError::UnterminatedString)?;
             self.pos += c.len_utf8();
             match c {
                 '"' => return Ok(out),
                 '\\' => {
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    let esc = self.peek().ok_or(ParseError::UnterminatedString)?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -243,21 +392,12 @@ impl Parser<'_> {
                         b't' => out.push('\t'),
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err("truncated \\u escape".into());
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| "bad \\u code point".to_string())?,
-                            );
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => {
+                            return Err(ParseError::UnknownEscape {
+                                escape: esc as char,
+                            })
                         }
-                        _ => return Err(format!("unknown escape `\\{}`", esc as char)),
                     }
                 }
                 c => out.push(c),
@@ -265,8 +405,8 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[', "`[`")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -284,13 +424,18 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => {
+                    return Err(ParseError::Expected {
+                        what: "`,` or `]`",
+                        at: self.pos,
+                    })
+                }
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{', "`{`")?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -301,7 +446,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect(b':', "`:`")?;
             let value = self.value()?;
             pairs.push((key, value));
             self.skip_ws();
@@ -313,7 +458,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(pairs));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => {
+                    return Err(ParseError::Expected {
+                        what: "`,` or `}`",
+                        at: self.pos,
+                    })
+                }
             }
         }
     }
@@ -337,9 +487,19 @@ mod tests {
 
     #[test]
     fn rejects_floats_and_garbage() {
-        assert!(Json::parse("1.5").is_err());
+        assert!(matches!(
+            Json::parse("1.5"),
+            Err(ParseError::Float { at: 1 })
+        ));
         assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("{\"a\":1} x").is_err());
+        assert!(matches!(
+            Json::parse("{\"a\":1} x"),
+            Err(ParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            Json::parse("-"),
+            Err(ParseError::Unexpected { .. })
+        ));
     }
 
     #[test]
@@ -349,5 +509,80 @@ mod tests {
             v.field("k").unwrap().as_arr().unwrap()[1],
             Json::Str("A\n".into())
         );
+    }
+
+    #[test]
+    fn i64_boundaries_parse_exactly() {
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+        assert_eq!(
+            Json::parse("9223372036854775807").unwrap(),
+            Json::Int(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_are_typed_errors() {
+        assert_eq!(
+            Json::parse("9223372036854775808"),
+            Err(ParseError::IntOutOfRange {
+                literal: "9223372036854775808".into(),
+                at: 0,
+            })
+        );
+        assert_eq!(
+            Json::parse("[-9223372036854775809]"),
+            Err(ParseError::IntOutOfRange {
+                literal: "-9223372036854775809".into(),
+                at: 1,
+            })
+        );
+        // A huge literal, way past u64 too.
+        assert!(matches!(
+            Json::parse("123456789012345678901234567890"),
+            Err(ParseError::IntOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+        // Printer emits astral chars verbatim; the parser reads them back.
+        let v = Json::Str("a😀b\u{10FFFF}".into());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_errors() {
+        assert_eq!(
+            Json::parse("\"\\ud83d\""),
+            Err(ParseError::LoneSurrogate { code: 0xD83D })
+        );
+        assert_eq!(
+            Json::parse("\"\\udc00\""),
+            Err(ParseError::LoneSurrogate { code: 0xDC00 })
+        );
+        // High surrogate followed by a non-surrogate escape.
+        assert_eq!(
+            Json::parse("\"\\ud800\\u0041\""),
+            Err(ParseError::LoneSurrogate { code: 0xD800 })
+        );
+    }
+
+    #[test]
+    fn truncated_unicode_escapes_are_typed_errors() {
+        assert!(matches!(
+            Json::parse("\"\\u00\""),
+            Err(ParseError::BadUnicodeEscape { .. })
+        ));
+        assert!(matches!(
+            Json::parse("\"\\u\""),
+            Err(ParseError::BadUnicodeEscape { .. })
+        ));
     }
 }

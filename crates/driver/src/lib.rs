@@ -62,6 +62,7 @@ use lc_ir::{Result, SkipReason};
 use lc_sched::advise::AdviseParams;
 use lc_xform::coalesce::{CoalesceInfo, CoalesceOptions};
 
+pub use batch::BatchItem;
 pub use cache::CacheStats;
 pub use pass::{Pass, PassOutcome};
 pub use pipeline::PassManager;
@@ -146,6 +147,21 @@ impl Default for DriverOptions {
 }
 
 impl DriverOptions {
+    /// A stable fingerprint of every knob that can change a
+    /// compilation's output. Two drivers with equal fingerprints produce
+    /// byte-identical results for the same source, so the fingerprint
+    /// (hashed together with the source) is a sound compile-cache key —
+    /// the serving layer builds its content-addressed cache on exactly
+    /// this.
+    ///
+    /// The encoding is the `Debug` rendering of the options: every field
+    /// of [`DriverOptions`], [`CoalesceOptions`], and
+    /// [`AdviseParams`] derives `Debug` structurally, so any field
+    /// change — including future added fields — changes the fingerprint.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// The configuration the `loop_coalescing` facade uses to stay
     /// byte-compatible with the seed `coalesce_source` pipeline:
     /// coalesce + validate only, no structural enabling passes.
@@ -219,8 +235,20 @@ impl Driver {
 
     /// Compile every source in parallel on a self-scheduled worker
     /// pool. Results preserve input order and are identical to calling
-    /// [`Driver::compile`] sequentially.
-    pub fn compile_batch<S: AsRef<str> + Sync>(&self, sources: &[S]) -> Vec<Result<DriverOutput>> {
+    /// [`Driver::compile`] sequentially; each [`BatchItem`] additionally
+    /// records its own wall time, and a panic while compiling one item
+    /// becomes that item's error instead of aborting the batch.
+    pub fn compile_batch<S: AsRef<str> + Sync>(&self, sources: &[S]) -> Vec<BatchItem> {
         batch::compile_batch(self, sources)
     }
 }
+
+// The serving layer shares one `Driver` across a worker pool; keep the
+// whole output type tree thread-mobile too.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Driver>();
+    assert_send_sync::<DriverOptions>();
+    assert_send_sync::<DriverOutput>();
+    assert_send_sync::<BatchItem>();
+};

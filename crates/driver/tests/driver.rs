@@ -197,13 +197,14 @@ fn batch_matches_sequential_compilation_byte_for_byte() {
     assert_eq!(parallel.len(), sources.len());
     for (i, src) in sources.iter().enumerate() {
         let sequential = driver.compile(src).unwrap();
-        let batched = parallel[i].as_ref().unwrap();
+        let batched = parallel[i].result.as_ref().unwrap();
         assert_eq!(
             batched.transformed_source, sequential.transformed_source,
             "program {i} diverged"
         );
         assert_eq!(batched.skipped, sequential.skipped);
         assert_eq!(batched.coalesced.len(), sequential.coalesced.len());
+        assert!(parallel[i].nanos >= 1, "program {i} has no wall time");
     }
 }
 
@@ -215,8 +216,8 @@ fn batch_is_deterministic_across_runs() {
     let b = driver.compile_batch(&sources);
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(
-            x.as_ref().unwrap().transformed_source,
-            y.as_ref().unwrap().transformed_source
+            x.result.as_ref().unwrap().transformed_source,
+            y.result.as_ref().unwrap().transformed_source
         );
     }
 }
@@ -229,9 +230,12 @@ fn batch_surfaces_per_program_errors_in_place() {
         QUICKSTART.to_string(),
     ];
     let results = Driver::default().compile_batch(&sources);
-    assert!(results[0].is_ok());
-    assert!(results[1].is_err());
-    assert!(results[2].is_ok());
+    assert!(results[0].result.is_ok());
+    assert!(results[1].result.is_err());
+    assert!(results[2].result.is_ok());
+    for item in &results {
+        assert!(item.nanos >= 1);
+    }
 }
 
 // ── diagnostics serialization ───────────────────────────────────────────

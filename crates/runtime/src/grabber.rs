@@ -33,10 +33,18 @@ impl FetchAddGrabber {
 
 impl Grabber for FetchAddGrabber {
     fn grab(&self) -> Option<Chunk> {
-        let start = self.counter.fetch_add(self.chunk, Ordering::Relaxed);
-        if start >= self.n {
-            return None;
-        }
+        // A plain `fetch_add` keeps incrementing after exhaustion, and
+        // near `u64::MAX` the counter would wrap and re-dispatch
+        // iterations that already ran. `fetch_update` with a saturating
+        // add pins the counter once the range is drained; on the
+        // uncontended fast path it is still a single CAS — the paper's
+        // one synchronized operation per chunk.
+        let start = self
+            .counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < self.n).then(|| c.saturating_add(self.chunk))
+            })
+            .ok()?;
         Some(Chunk {
             start,
             len: self.chunk.min(self.n - start),
@@ -210,6 +218,96 @@ mod tests {
         ] {
             let g = make_grabber(0, 4, kind);
             assert!(g.grab().is_none(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_nothing_for_every_grabber() {
+        assert!(FetchAddGrabber::new(0, 1).grab().is_none());
+        assert!(FetchAddGrabber::new(0, 64).grab().is_none());
+        assert!(GuidedGrabber::new(0, 8, 1).grab().is_none());
+        assert!(
+            LockedGrabber::new(Dispenser::with_kind(0, 4, PolicyKind::Factoring))
+                .grab()
+                .is_none()
+        );
+        // And stays empty on repeated polls.
+        let g = FetchAddGrabber::new(0, 3);
+        for _ in 0..4 {
+            assert!(g.grab().is_none());
+        }
+    }
+
+    #[test]
+    fn single_iteration_range_dispatches_exactly_once() {
+        for kind in [
+            PolicyKind::SelfSched,
+            PolicyKind::Chunked(16),
+            PolicyKind::Guided,
+            PolicyKind::Trapezoid,
+            PolicyKind::Factoring,
+        ] {
+            let g = make_grabber(1, 4, kind);
+            let c = g.grab().unwrap_or_else(|| panic!("{kind:?} gave nothing"));
+            assert_eq!((c.start, c.len), (0, 1), "{kind:?}");
+            assert_eq!(c.end(), 1, "{kind:?}");
+            assert!(g.grab().is_none(), "{kind:?} dispatched twice");
+        }
+    }
+
+    #[test]
+    fn fetch_add_near_u64_max_never_wraps_or_overflows() {
+        // Chunk larger than half the domain: the second claim saturates
+        // the counter. Before the `fetch_update` fix the third grab saw
+        // a wrapped (small) counter and re-dispatched iteration 0.
+        let chunk = u64::MAX / 2 + 3;
+        let g = FetchAddGrabber::new(u64::MAX, chunk);
+        let a = g.grab().unwrap();
+        assert_eq!((a.start, a.len), (0, chunk));
+        assert_eq!(a.end(), chunk);
+        let b = g.grab().unwrap();
+        assert_eq!(b.start, chunk);
+        assert_eq!(b.len, u64::MAX - chunk);
+        assert_eq!(b.end(), u64::MAX); // no overflow in Chunk::end
+        for _ in 0..8 {
+            assert!(g.grab().is_none(), "counter wrapped after exhaustion");
+        }
+    }
+
+    #[test]
+    fn chunked_tail_at_u64_max_stays_in_range() {
+        // Start the last chunk 5 iterations before the end of the
+        // domain: len must clamp so Chunk::end == u64::MAX exactly.
+        let g = FetchAddGrabber::new(u64::MAX, 7);
+        g.counter.store(u64::MAX - 5, Ordering::Relaxed);
+        let c = g.grab().unwrap();
+        assert_eq!((c.start, c.len), (u64::MAX - 5, 5));
+        assert_eq!(c.end(), u64::MAX);
+        assert!(g.grab().is_none());
+    }
+
+    #[test]
+    fn guided_near_u64_max_never_overflows() {
+        // remaining/p with p=1 takes the whole domain in one chunk; the
+        // CAS target is exactly n, never past it.
+        let g = GuidedGrabber::new(u64::MAX, 1, 1);
+        let c = g.grab().unwrap();
+        assert_eq!((c.start, c.len), (0, u64::MAX));
+        assert_eq!(c.end(), u64::MAX);
+        assert!(g.grab().is_none());
+
+        // With many workers the first chunks stay near remaining/p and
+        // every end() is in range.
+        let g = GuidedGrabber::new(u64::MAX, 1024, 1);
+        let mut claimed = 0u64;
+        for _ in 0..64 {
+            let c = g.grab().unwrap();
+            assert_eq!(c.start, claimed);
+            assert!(
+                c.start.checked_add(c.len).is_some(),
+                "end() must not overflow"
+            );
+            claimed = c.end();
         }
     }
 

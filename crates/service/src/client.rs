@@ -1,0 +1,79 @@
+//! A minimal blocking HTTP client for the compile server: one
+//! connection per request (the server speaks `Connection: close`),
+//! shared by the integration tests, the load generator, and the demo
+//! example.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{read_response, ReadError, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(std::io::Error),
+    /// Connected but could not complete the exchange.
+    Exchange(ReadError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Exchange(e) => write!(f, "exchange failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Issue one request and read the response. `headers` are sent as
+/// given; `Content-Length` and `Connection: close` are added.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<Response, ClientError> {
+    let stream = TcpStream::connect_timeout(&addr, timeout).map_err(ClientError::Connect)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut head = format!("{method} {target} HTTP/1.1\r\nhost: {addr}\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    ));
+
+    let mut stream = stream;
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| ClientError::Exchange(ReadError::Io(e)))?;
+
+    read_response(&mut BufReader::new(stream)).map_err(ClientError::Exchange)
+}
+
+/// `GET target`.
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> Result<Response, ClientError> {
+    request(addr, "GET", target, &[], &[], timeout)
+}
+
+/// `POST target` with a body.
+pub fn post(
+    addr: SocketAddr,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<Response, ClientError> {
+    request(addr, "POST", target, &[], body, timeout)
+}

@@ -1,0 +1,74 @@
+//! The 72-program benchmark corpus the load generator replays.
+//!
+//! Mirrors the batch corpus in the driver's tests: three program shapes
+//! cycling by index — a plain coalescible `doall` pair, a
+//! carried-dependence `for` loop ahead of a `doall` pair, and a
+//! symbolic-bound nest — with bounds varying by index so nearly every
+//! program is a distinct cache key.
+
+/// The corpus: 72 distinct, parseable DSL programs.
+pub fn corpus72() -> Vec<String> {
+    (0..72)
+        .map(|k| {
+            let n = 2 + (k % 7);
+            let m = 3 + (k % 5);
+            match k % 3 {
+                0 => format!(
+                    "array A[{n}][{m}];
+                     doall i = 1..{n} {{
+                         doall j = 1..{m} {{
+                             A[i][j] = i * {k} + j;
+                         }}
+                     }}"
+                ),
+                1 => format!(
+                    "array A[{n}][{m}];
+                     array B[{n}];
+                     for i = 2..{n} {{
+                         B[i] = B[i - 1] + {k};
+                     }}
+                     doall i = 1..{n} {{
+                         doall j = 1..{m} {{
+                             A[i][j] = i + j;
+                         }}
+                     }}"
+                ),
+                _ => format!(
+                    "array A[{n}][{m}];
+                     u = {n};
+                     v = {m};
+                     doall i = 1..u {{
+                         doall j = 1..v {{
+                             A[i][j] = i * j + {k};
+                         }}
+                     }}"
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_72_distinct_programs() {
+        let corpus = corpus72();
+        assert_eq!(corpus.len(), 72);
+        let unique: std::collections::HashSet<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            unique.len(),
+            72,
+            "every program must be a distinct cache key"
+        );
+    }
+
+    #[test]
+    fn every_corpus_program_compiles() {
+        let driver = lc_driver::Driver::default();
+        for (k, src) in corpus72().iter().enumerate() {
+            assert!(driver.compile(src).is_ok(), "program {k} failed");
+        }
+    }
+}

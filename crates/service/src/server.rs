@@ -1,0 +1,512 @@
+//! The compile server: acceptor, connection threads, and a fixed pool
+//! of compile workers behind a bounded queue.
+//!
+//! ```text
+//!             ┌────────────┐  try_push   ┌──────────────┐   pop
+//!  TCP ──────▶│ connection │────────────▶│ BoundedQueue │────────▶ workers
+//!             │  threads   │◀────────────│  (backpress) │          (N fixed)
+//!             └────────────┘  reply chan └──────────────┘
+//!                    │  ▲
+//!             cache get  cache insert (workers)
+//! ```
+//!
+//! * Cache hits are answered directly on the connection thread — they
+//!   never consume a queue slot or a worker.
+//! * A full queue is answered `429` immediately (load shedding), a
+//!   closed queue `503` (draining).
+//! * Every job carries a deadline; a worker that pops an expired job
+//!   answers `503` without compiling it.
+//! * `POST /shutdown` closes the queue, stops the acceptor, and lets
+//!   in-flight work finish — [`Server::join`] returns once drained.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lc_driver::json::Json;
+use lc_driver::{Driver, DriverOptions, DriverOutput};
+
+use crate::cache::{fnv1a, ShardedLru};
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+
+/// Everything tunable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Compile worker threads (minimum 1).
+    pub workers: usize,
+    /// Pending-job slots before `429` load shedding kicks in.
+    pub queue_capacity: usize,
+    /// Total compile-cache entries.
+    pub cache_capacity: usize,
+    /// Cache shards (lock granularity).
+    pub cache_shards: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Deadline applied when the client sends no `X-Deadline-Ms`.
+    pub default_deadline: Duration,
+    /// Socket read timeout (maps to `408`).
+    pub read_timeout: Duration,
+    /// Driver configuration; part of the cache key via
+    /// [`DriverOptions::fingerprint`].
+    pub driver: DriverOptions,
+    /// Test hook: make every worker sleep this long per job, so tests
+    /// can fill the queue and expire deadlines deterministically.
+    pub synthetic_delay: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+            max_body_bytes: 1024 * 1024,
+            default_deadline: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(10),
+            driver: DriverOptions::default(),
+            synthetic_delay: None,
+        }
+    }
+}
+
+enum JobKind {
+    Compile { key: u64, source: String },
+    Batch { sources: Vec<String> },
+}
+
+struct Job {
+    kind: JobKind,
+    reply: SyncSender<Response>,
+    deadline: Instant,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    driver: Driver,
+    fingerprint: String,
+    cache: ShardedLru<Vec<u8>>,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    draining: AtomicBool,
+    active_conns: AtomicUsize,
+    addr: SocketAddr,
+}
+
+/// A running compile server bound to a local address.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `bind_addr` (e.g. `127.0.0.1:0`), spawn the worker pool and
+    /// the acceptor, and return immediately.
+    pub fn start(config: ServiceConfig, bind_addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let driver = Driver::new(config.driver.clone());
+        let fingerprint = config.driver.fingerprint();
+        let shared = Arc::new(Shared {
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::default(),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            addr,
+            driver,
+            fingerprint,
+            config,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lc-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begin draining as if `POST /shutdown` had arrived.
+    pub fn begin_shutdown(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Wait until the server has fully drained: acceptor stopped, queue
+    /// empty, workers exited, in-flight connections answered.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Connection threads detach; wait (bounded) for the last replies
+        // to flush.
+        let gone = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < gone {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Convenience: trigger drain and wait for it to finish.
+    pub fn shutdown(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    shared.queue.close();
+    // Poke the blocking `accept` so the acceptor observes `draining`.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.active_conns.fetch_add(1, Ordering::AcqRel);
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("lc-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &shared);
+                shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let started = Instant::now();
+    let response = match read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(req) => {
+            shared
+                .metrics
+                .requests_total
+                .fetch_add(1, Ordering::Relaxed);
+            route(shared, req)
+        }
+        Err(ReadError::Closed) => return, // e.g. the drain poke
+        Err(ReadError::Timeout) => Response::error(408, "timed out reading the request"),
+        Err(ReadError::TooLarge { limit }) => {
+            Response::error(413, format!("request exceeds {limit} bytes"))
+        }
+        Err(ReadError::Malformed(what)) => Response::error(400, format!("bad request: {what}")),
+        Err(ReadError::Io(e)) => Response::error(500, format!("i/o error: {e}")),
+    };
+    shared.metrics.observe_status(response.status);
+    shared
+        .metrics
+        .latency
+        .record_micros(started.elapsed().as_micros() as u64);
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+    // Drain whatever the client already sent (we may have answered
+    // without reading the body, e.g. 413): closing with unread bytes in
+    // the receive buffer would RST the response off the wire. Bounded by
+    // the body cap and the socket read timeout.
+    let mut reader = reader;
+    let _ = std::io::copy(
+        &mut std::io::Read::take(&mut reader, shared.config.max_body_bytes as u64),
+        &mut std::io::sink(),
+    );
+}
+
+fn route(shared: &Shared, req: Request) -> Response {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "draining",
+                    Json::Bool(shared.draining.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared.metrics.render(
+                shared.cache.counters(),
+                shared.queue.len(),
+                shared.config.workers.max(1),
+            ),
+        ),
+        ("POST", "/compile") => handle_compile(shared, req),
+        ("POST", "/batch") => handle_batch(shared, req),
+        ("POST", "/shutdown") => {
+            begin_drain(shared);
+            Response::json(
+                200,
+                &Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("draining", Json::Bool(true)),
+                ]),
+            )
+        }
+        (_, "/compile" | "/batch" | "/shutdown") => Response::error(
+            405,
+            format!("{} requires POST, got {}", req.target, req.method),
+        ),
+        (_, "/metrics" | "/healthz") => Response::error(
+            405,
+            format!("{} requires GET, got {}", req.target, req.method),
+        ),
+        _ => Response::error(404, format!("no such endpoint: {}", req.target)),
+    }
+}
+
+/// Deadline for a request: `X-Deadline-Ms` when present and sane,
+/// otherwise the configured default.
+fn request_deadline(shared: &Shared, req: &Request) -> Result<Duration, Response> {
+    match req.header("x-deadline-ms") {
+        None => Ok(shared.config.default_deadline),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Duration::from_millis(ms)),
+            _ => Err(Response::error(
+                400,
+                "x-deadline-ms must be a positive integer of milliseconds",
+            )),
+        },
+    }
+}
+
+/// Enqueue a job and wait for the worker's reply. Shared by `/compile`
+/// and `/batch`.
+fn run_job(shared: &Shared, kind: JobKind, deadline: Duration) -> Response {
+    let (reply, result) = sync_channel(1);
+    let job = Job {
+        kind,
+        reply,
+        deadline: Instant::now() + deadline,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.metrics.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(PushError::Full) => {
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::error(429, "compile queue is full, retry later")
+                .with_header("retry-after", "1");
+        }
+        Err(PushError::Closed) => {
+            return Response::error(503, "server is draining, not accepting work");
+        }
+    }
+    // Workers always reply (even for expired jobs); the grace period only
+    // guards against a worker dying mid-job.
+    match result.recv_timeout(deadline + Duration::from_secs(30)) {
+        Ok(resp) => resp,
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            Response::error(503, "compile worker did not reply")
+        }
+    }
+}
+
+fn handle_compile(shared: &Shared, req: Request) -> Response {
+    shared
+        .metrics
+        .compile_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let deadline = match request_deadline(shared, &req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Ok(source) = String::from_utf8(req.body) else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    if source.trim().is_empty() {
+        return Response::error(422, "empty program");
+    }
+    let key = cache_key(&shared.fingerprint, &source);
+    if let Some(body) = shared.cache.get(key) {
+        // Byte-identical to the miss path: the cached value *is* the
+        // body the worker rendered.
+        return Response {
+            status: 200,
+            headers: vec![("content-type".to_string(), "application/json".to_string())],
+            body: body.as_ref().clone(),
+        }
+        .with_header("x-cache", "hit");
+    }
+    run_job(shared, JobKind::Compile { key, source }, deadline)
+}
+
+fn handle_batch(shared: &Shared, req: Request) -> Response {
+    shared
+        .metrics
+        .batch_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let deadline = match request_deadline(shared, &req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, format!("bad JSON body: {e}")),
+    };
+    let Some(sources) = parsed.get("sources").and_then(Json::as_arr) else {
+        return Response::error(422, "body must be {\"sources\": [\"...\", ...]}");
+    };
+    let mut list = Vec::with_capacity(sources.len());
+    for s in sources {
+        match s.as_str() {
+            Some(text) => list.push(text.to_string()),
+            None => return Response::error(422, "every source must be a string"),
+        }
+    }
+    if list.is_empty() {
+        return Response::error(422, "sources is empty");
+    }
+    run_job(shared, JobKind::Batch { sources: list }, deadline)
+}
+
+/// FNV key over the driver fingerprint and the source text, with a
+/// separator byte that cannot occur inside UTF-8 text so the two parts
+/// cannot alias.
+fn cache_key(fingerprint: &str, source: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(fingerprint.len() + source.len() + 1);
+    bytes.extend_from_slice(fingerprint.as_bytes());
+    bytes.push(0xFF);
+    bytes.extend_from_slice(source.as_bytes());
+    fnv1a(&bytes)
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if Instant::now() > job.deadline {
+            shared.metrics.jobs_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Response::error(
+                503,
+                "deadline exceeded before a worker was free",
+            ));
+            continue;
+        }
+        if let Some(delay) = shared.config.synthetic_delay {
+            std::thread::sleep(delay);
+        }
+        shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+        let response = match job.kind {
+            JobKind::Compile { key, source } => compile_job(shared, key, &source),
+            JobKind::Batch { sources } => batch_job(shared, &sources),
+        };
+        shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .jobs_completed
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(response);
+    }
+}
+
+fn compile_job(shared: &Shared, key: u64, source: &str) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| shared.driver.compile(source))) {
+        Ok(Ok(out)) => {
+            let body = output_json(&out).to_string().into_bytes();
+            shared.cache.insert(key, body.clone());
+            Response {
+                status: 200,
+                headers: vec![("content-type".to_string(), "application/json".to_string())],
+                body,
+            }
+            .with_header("x-cache", "miss")
+        }
+        Ok(Err(e)) => Response::error(422, e.to_string()),
+        Err(_) => {
+            shared.metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, "compile panicked")
+        }
+    }
+}
+
+fn batch_job(shared: &Shared, sources: &[String]) -> Response {
+    // `compile_batch` already converts per-item panics into per-item
+    // errors and times each item.
+    let items = shared.driver.compile_batch(sources);
+    let rendered: Vec<Json> = items
+        .iter()
+        .map(|item| match &item.result {
+            Ok(out) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("source", Json::Str(out.transformed_source.clone())),
+                ("coalesced_nests", Json::Int(out.coalesced.len() as i64)),
+                ("nanos", Json::Int(item.nanos.min(i64::MAX as u64) as i64)),
+            ]),
+            Err(e) => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(e.to_string())),
+                ("nanos", Json::Int(item.nanos.min(i64::MAX as u64) as i64)),
+            ]),
+        })
+        .collect();
+    let ok_count = items.iter().filter(|i| i.result.is_ok()).count();
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("items", Json::Arr(rendered)),
+            ("succeeded", Json::Int(ok_count as i64)),
+            ("failed", Json::Int((items.len() - ok_count) as i64)),
+        ]),
+    )
+}
+
+/// The `/compile` success payload: transformed source, coalesce/skip
+/// summaries, and the full pipeline trace.
+fn output_json(out: &DriverOutput) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("source", Json::Str(out.transformed_source.clone())),
+        ("coalesced_nests", Json::Int(out.coalesced.len() as i64)),
+        (
+            "skipped",
+            Json::Arr(out.skipped.iter().map(|s| s.to_json()).collect()),
+        ),
+        ("trace", out.trace.to_json()),
+    ])
+}

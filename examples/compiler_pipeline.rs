@@ -93,11 +93,13 @@ fn main() {
     let results = driver.compile_batch(&programs);
     let coalesced = results
         .iter()
-        .filter(|r| r.as_ref().is_ok_and(|o| !o.coalesced.is_empty()))
+        .filter(|r| r.result.as_ref().is_ok_and(|o| !o.coalesced.is_empty()))
         .count();
+    let batch_nanos: u64 = results.iter().map(|r| r.nanos).sum();
     println!(
-        "\nbatch: compiled {} programs in parallel, {} coalesced",
+        "\nbatch: compiled {} programs in parallel, {} coalesced, {:.1}ms of worker time",
         results.len(),
-        coalesced
+        coalesced,
+        batch_nanos as f64 / 1e6
     );
 }
