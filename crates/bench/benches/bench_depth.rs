@@ -13,7 +13,7 @@ fn bench_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("depth");
     group.sample_size(10);
     for dims in f4::shapes() {
-        let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+        let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims).units();
         group.bench_with_input(
             BenchmarkId::new("coalesced", dims.len()),
             &dims,

@@ -24,6 +24,27 @@ fn main() {
 
     let json = args.iter().any(|a| a == "--json");
     let run_all = args.iter().any(|a| a.eq_ignore_ascii_case("all"));
+
+    // Every non-flag argument must name a registered experiment (or
+    // `all`); a typo like `T9` must fail loudly, not vanish.
+    let unknown: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            !a.starts_with('-')
+                && !a.eq_ignore_ascii_case("all")
+                && !registry()
+                    .iter()
+                    .any(|(id, _, _)| a.eq_ignore_ascii_case(id))
+        })
+        .collect();
+    if !unknown.is_empty() {
+        for a in &unknown {
+            eprintln!("unknown experiment id: {a}");
+        }
+        print_usage();
+        std::process::exit(1);
+    }
+
     let mut matched = 0;
     let mut json_tables = Vec::new();
     for (id, desc, runner) in registry() {

@@ -35,7 +35,7 @@ pub fn shapes() -> Vec<Vec<u64>> {
 pub fn simulated_band_makespan(dims: &[u64], band: (usize, usize)) -> u64 {
     let (s, e) = band;
     let cost = CostModel::default();
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims[s..e]);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims[s..e]).units();
 
     let outer: u64 = dims[..s].iter().product();
     let inner: Vec<u64> = dims[e..].to_vec();

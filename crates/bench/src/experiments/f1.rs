@@ -26,7 +26,7 @@ pub fn procs() -> Vec<usize> {
 
 /// The compared execution modes (name, mode) for a given machine.
 pub fn modes() -> Vec<(&'static str, ExecMode)> {
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS).units();
     vec![
         ("COAL/SS", ExecMode::coalesced(PolicyKind::SelfSched, rec)),
         (

@@ -33,7 +33,7 @@ pub fn procs() -> Vec<usize> {
 
 /// The compared modes.
 pub fn modes() -> Vec<(&'static str, ExecMode)> {
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS).units();
     vec![
         (
             "OUTER/BLOCK",

@@ -61,7 +61,7 @@ pub fn policies() -> Vec<(&'static str, LoopSchedule)> {
 /// Makespan of one (workload, policy) cell.
 pub fn makespan(model: WorkModel, schedule: LoopSchedule) -> u64 {
     let cost = CostModel::default();
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS).units();
     let body = move |iv: &[i64]| model.cost(iv);
     simulate_nest(
         &DIMS,

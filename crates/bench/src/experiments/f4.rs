@@ -44,13 +44,13 @@ pub fn makespan(dims: &[u64], mode: ExecMode) -> u64 {
 pub fn partial_collapse_makespan(dims: &[u64]) -> u64 {
     let cost = CostModel::default();
     if dims.len() <= 2 {
-        let rec = per_iteration_cost(RecoveryScheme::Ceiling, dims);
+        let rec = per_iteration_cost(RecoveryScheme::Ceiling, dims).units();
         return makespan(dims, ExecMode::coalesced(PolicyKind::Guided, rec));
     }
     let outer: Vec<u64> = dims[..2].to_vec();
     let inner: Vec<u64> = dims[2..].to_vec();
     let inner_n: u64 = inner.iter().product();
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &outer);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &outer).units();
     // Each coalesced iteration runs the inner subnest serially: body cost
     // per coalesced iteration = inner headers + inner bodies.
     let inner_headers: u64 = {
@@ -90,7 +90,7 @@ pub fn run() -> Vec<Table> {
         ],
     );
     for dims in shapes() {
-        let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+        let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims).units();
         let coal = makespan(&dims, ExecMode::coalesced(PolicyKind::Guided, rec));
         let partial = partial_collapse_makespan(&dims);
         let inner = makespan(

@@ -73,9 +73,13 @@ pub fn run() -> Vec<Table> {
         t.row(vec![
             m.to_string(),
             format!("{dims:?}"),
-            per_iteration_cost(RecoveryScheme::Ceiling, &dims).to_string(),
+            per_iteration_cost(RecoveryScheme::Ceiling, &dims)
+                .units()
+                .to_string(),
             ceiling_cse_cost(&dims).to_string(),
-            per_iteration_cost(RecoveryScheme::DivMod, &dims).to_string(),
+            per_iteration_cost(RecoveryScheme::DivMod, &dims)
+                .units()
+                .to_string(),
             format!("{:.3}", odometer_updates_per_iter(&dims)),
         ]);
     }

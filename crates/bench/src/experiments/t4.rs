@@ -28,7 +28,7 @@ const P: usize = 16;
 /// Makespans for a given body size: (seq, outer-SS, coal-SS, coal-GSS).
 pub fn makespans(s: u64) -> (u64, u64, u64, u64) {
     let cost = CostModel::default().scaled(4);
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &DIMS).units();
     let body = move |_: &[i64]| s;
     let seq = simulate_nest(&DIMS, 1, ExecMode::Sequential, &cost, &body).makespan;
     let outer = simulate_nest(

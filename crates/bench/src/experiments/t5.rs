@@ -42,7 +42,7 @@ pub fn evaluate(kernel: &Kernel) -> (f64, f64, f64, f64) {
     let dims = kernel.dims.clone();
     let n: u64 = dims.iter().product();
     let cost = CostModel::default();
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims).units();
     let body = |iv: &[i64]| oracle.cost(iv);
 
     let seq = simulate_nest(&dims, 1, ExecMode::Sequential, &cost, &body).makespan;

@@ -4,9 +4,8 @@
 //! [`Nest`] form, its normalized form, and its dependence analysis. The
 //! seed pipeline recomputed these inside every transformation entry
 //! point; the driver computes each **once per nest** and hands the cached
-//! result to the analysis-injected `lc-xform` entry points
-//! ([`lc_xform::coalesce::coalesce_nest`],
-//! [`lc_xform::symbolic::coalesce_symbolic_nest`]).
+//! result to the analysis-injected `lc-xform` entry point
+//! ([`lc_xform::coalesce::coalesce_band`]).
 //!
 //! Every accessor counts a *computed* or a *hit* in [`CacheStats`], so
 //! tests (and the trace report) can assert that dependence analysis ran

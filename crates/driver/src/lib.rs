@@ -65,7 +65,7 @@ use lc_xform::coalesce::{CoalesceInfo, CoalesceOptions};
 pub use batch::BatchItem;
 pub use cache::CacheStats;
 pub use pass::{Pass, PassOutcome};
-pub use pipeline::PassManager;
+pub use pipeline::{pass_by_name, PassManager, DEFAULT_PASS_ORDER};
 pub use trace::{PipelineTrace, TraceEvent, TraceOutcome};
 
 /// A nest the pipeline left untouched, with its typed diagnostic.
@@ -132,6 +132,16 @@ pub struct DriverOptions {
     /// When set, the advise pass picks the best legal collapse band for
     /// these machine parameters, overriding `coalesce.levels` per nest.
     pub advise: Option<AdviseParams>,
+    /// Pass names to run, in order, instead of
+    /// [`pipeline::DEFAULT_PASS_ORDER`]. Every name must be registered
+    /// in [`pipeline::pass_by_name`]; [`Driver::new`] panics otherwise.
+    pub pass_order: Option<Vec<String>>,
+    /// Interpret-and-compare the program against the original after
+    /// every *structural* pass application (perfection, interchange,
+    /// coalesce), not just once at the end. Each check is traced as a
+    /// `validate:{pass}` event; a divergence aborts the compilation.
+    /// Expensive — a debugging aid for pass development, off by default.
+    pub validate_each_pass: bool,
 }
 
 impl Default for DriverOptions {
@@ -142,6 +152,8 @@ impl Default for DriverOptions {
             enable_interchange: true,
             validate: true,
             advise: None,
+            pass_order: None,
+            validate_each_pass: false,
         }
     }
 }
@@ -172,6 +184,8 @@ impl DriverOptions {
             enable_interchange: false,
             validate: true,
             advise: None,
+            pass_order: None,
+            validate_each_pass: false,
         }
     }
 }

@@ -25,12 +25,11 @@
 use lc_ir::analysis::nest::Nest;
 use lc_ir::stmt::Stmt;
 use lc_ir::{Error, Result, SkipReason};
-use lc_xform::coalesce::{coalesce_nest, CoalesceInfo, CoalesceResult};
+use lc_xform::coalesce::{coalesce_band, CoalesceInfo, CoalesceResult};
 use lc_xform::interchange::interchange;
 use lc_xform::normalize::require_normalized;
 use lc_xform::perfect::perfect_recursively;
 use lc_xform::recovery::per_iteration_cost;
-use lc_xform::symbolic::coalesce_symbolic_nest;
 
 use crate::cache::NestAnalyses;
 use crate::{DriverOptions, Skip};
@@ -104,6 +103,12 @@ pub trait Pass: Send + Sync {
     /// Run over one nest. `Err` aborts the whole compilation; passes
     /// that merely cannot apply return `Ok(PassOutcome::Skipped(..))`.
     fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome>;
+    /// Whether an `Applied` outcome means the program's code changed
+    /// (as opposed to analysis state or advice). Structural passes are
+    /// eligible for the manager's per-pass validation hook.
+    fn structural(&self) -> bool {
+        false
+    }
 }
 
 /// Pass 1: loop normalization (via the analysis cache).
@@ -158,6 +163,10 @@ impl Pass for PerfectionPass {
         "perfect"
     }
 
+    fn structural(&self) -> bool {
+        true
+    }
+
     fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
         if state.decision.is_some() || !cx.options.enable_perfection {
             return Ok(PassOutcome::Noop);
@@ -185,6 +194,10 @@ pub struct InterchangePass;
 impl Pass for InterchangePass {
     fn name(&self) -> &'static str {
         "interchange"
+    }
+
+    fn structural(&self) -> bool {
+        true
     }
 
     fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
@@ -264,8 +277,8 @@ pub struct CoalescePass;
 
 impl CoalescePass {
     /// Run the constant-trip-count path with cached analyses. Replicates
-    /// `coalesce_loop` = normalize (cached) + `coalesce_nest`, injecting
-    /// the cached dependence analysis exactly when `coalesce_nest` would
+    /// `coalesce_loop` = normalize (cached) + `coalesce_band`, injecting
+    /// the cached dependence analysis exactly when `coalesce_band` would
     /// compute one (legality checking on, band valid).
     fn constant_path(
         cx: &mut PassCx<'_>,
@@ -293,13 +306,17 @@ impl CoalescePass {
         } else {
             None
         };
-        coalesce_nest(nest, deps, opts)
+        coalesce_band(nest, deps, opts)
     }
 }
 
 impl Pass for CoalescePass {
     fn name(&self) -> &'static str {
         "coalesce"
+    }
+
+    fn structural(&self) -> bool {
+        true
     }
 
     fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
@@ -317,28 +334,20 @@ impl Pass for CoalescePass {
         match Self::constant_path(cx, &opts, depth) {
             Ok(result) => {
                 state.decision = Some(Decision::Coalesced {
-                    stmts: vec![Stmt::Loop(result.transformed)],
+                    stmts: result.stmts(),
                     info: result.info,
                 });
                 Ok(PassOutcome::Applied { rewrites: width })
             }
             Err(Error::Unsupported(reason)) if reason.is_symbolic() => {
-                // Constant-bound coalescing needs trip counts; fall back
-                // to the symbolic path (runtime stride computation).
-                match coalesce_symbolic_nest(cx.cache.nest_ref(), None, &opts) {
-                    Ok(sym) => {
-                        let info = CoalesceInfo {
-                            dims: Vec::new(),
-                            total_iterations: 0,
-                            scheme: opts.scheme,
-                            recovery_cost_per_iteration: 0,
-                            levels: opts.levels.unwrap_or((0, depth)),
-                            original_depth: depth,
-                            coalesced_var: sym.coalesced_var.clone(),
-                        };
+                // Normalization needs constant trip counts; retry on the
+                // raw nest, where the per-level emitter computes symbolic
+                // strides at run time.
+                match coalesce_band(cx.cache.nest_ref(), None, &opts) {
+                    Ok(result) => {
                         state.decision = Some(Decision::Coalesced {
-                            stmts: sym.stmts(),
-                            info,
+                            stmts: result.stmts(),
+                            info: result.info,
                         });
                         Ok(PassOutcome::Applied { rewrites: width })
                     }
@@ -369,7 +378,7 @@ impl Pass for CoalescePass {
 /// Pass 6: recovery strength reduction reporting.
 ///
 /// The common-subexpression extraction over recovery statements is fused
-/// into `coalesce_nest`'s emission (it needs the fresh-temp namespace
+/// into `coalesce_band`'s emission (it needs the fresh-temp namespace
 /// computed there), so this pass does not rewrite — it reports the
 /// per-iteration cost units the CSE saved, making the paper's
 /// strength-reduction remark visible in the trace.
@@ -386,7 +395,7 @@ impl Pass for StrengthReducePass {
         }
         match &state.decision {
             Some(Decision::Coalesced { info, .. }) if !info.dims.is_empty() => {
-                let naive = per_iteration_cost(info.scheme, &info.dims);
+                let naive = per_iteration_cost(info.scheme, &info.dims).units();
                 let saved = naive.saturating_sub(info.recovery_cost_per_iteration);
                 Ok(PassOutcome::Applied { rewrites: saved })
             }

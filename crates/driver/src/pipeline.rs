@@ -1,5 +1,11 @@
-//! The [`PassManager`]: runs the standard pass pipeline over a program,
+//! The [`PassManager`]: a data-driven pass pipeline over a program,
 //! timing every pass invocation into a [`PipelineTrace`].
+//!
+//! The pipeline is a *list of pass names* resolved through the
+//! [`pass_by_name`] registry: [`DEFAULT_PASS_ORDER`] reproduces the
+//! paper's presentation, [`DriverOptions::pass_order`] reorders or
+//! subsets it, and [`PassManager::with_pipeline`] accepts any explicit
+//! order for tests and tooling.
 
 use std::time::Instant;
 
@@ -22,6 +28,34 @@ use crate::{DriverOptions, DriverOutput};
 /// deterministic and comparable.
 pub const VALIDATE_SEED: u64 = 0xC0A1E5CE;
 
+/// The standard pipeline order: normalize → perfect → interchange →
+/// advise → coalesce → strength-reduce, following the paper's
+/// presentation. Which passes *act* is governed by [`DriverOptions`];
+/// every pass is still invoked and traced.
+pub const DEFAULT_PASS_ORDER: [&str; 6] = [
+    "normalize",
+    "perfect",
+    "interchange",
+    "advise",
+    "coalesce",
+    "strength-reduce",
+];
+
+/// The pass registry: resolve a pipeline name to its pass. Every name in
+/// [`DEFAULT_PASS_ORDER`] is registered; `None` means the name is
+/// unknown.
+pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
+    Some(match name {
+        "normalize" => Box::new(NormalizePass) as Box<dyn Pass>,
+        "perfect" => Box::new(PerfectionPass),
+        "interchange" => Box::new(InterchangePass),
+        "advise" => Box::new(AdvisePass),
+        "coalesce" => Box::new(CoalescePass),
+        "strength-reduce" => Box::new(StrengthReducePass),
+        _ => return None,
+    })
+}
+
 /// Runs the pass pipeline over whole programs.
 ///
 /// The manager is immutable after construction (passes are stateless),
@@ -33,21 +67,41 @@ pub struct PassManager {
 }
 
 impl PassManager {
-    /// The standard pipeline: normalize → perfect → interchange →
-    /// advise → coalesce → strength-reduce. Which passes *act* is
-    /// governed by `options`; every pass is still invoked and traced.
+    /// Build the pipeline from [`DriverOptions::pass_order`] when set,
+    /// falling back to [`DEFAULT_PASS_ORDER`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options.pass_order` names a pass that is not in the
+    /// [`pass_by_name`] registry — a configuration bug, not an input
+    /// error. Use [`PassManager::with_pipeline`] for a fallible build.
     pub fn standard(options: DriverOptions) -> Self {
-        PassManager {
-            passes: vec![
-                Box::new(NormalizePass),
-                Box::new(PerfectionPass),
-                Box::new(InterchangePass),
-                Box::new(AdvisePass),
-                Box::new(CoalescePass),
-                Box::new(StrengthReducePass),
-            ],
-            options,
+        let order: Vec<String> = match &options.pass_order {
+            Some(o) => o.clone(),
+            None => DEFAULT_PASS_ORDER.iter().map(|s| s.to_string()).collect(),
+        };
+        let names: Vec<&str> = order.iter().map(String::as_str).collect();
+        Self::with_pipeline(options, &names)
+            .unwrap_or_else(|e| panic!("invalid DriverOptions::pass_order: {e}"))
+    }
+
+    /// Build a pipeline running exactly the named passes, in order.
+    /// Names resolve through [`pass_by_name`]; an unknown name is
+    /// reported, not panicked.
+    pub fn with_pipeline(
+        options: DriverOptions,
+        order: &[&str],
+    ) -> std::result::Result<Self, String> {
+        let mut passes = Vec::with_capacity(order.len());
+        for name in order {
+            passes.push(pass_by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown pass `{name}` (registered: {})",
+                    DEFAULT_PASS_ORDER.join(", ")
+                )
+            })?);
         }
+        Ok(PassManager { passes, options })
     }
 
     /// The configured options.
@@ -87,6 +141,7 @@ impl PassManager {
                     };
                     pass.run(&mut state, &mut cx)?
                 };
+                let applied = matches!(outcome, crate::pass::PassOutcome::Applied { .. });
                 trace.events.push(TraceEvent {
                     nest: Some(idx),
                     pass: pass.name().to_string(),
@@ -101,6 +156,28 @@ impl PassManager {
                     },
                     nanos: start.elapsed().as_nanos().max(1) as u64,
                 });
+                // Per-pass validation hook: after every structural
+                // rewrite, interpret-and-compare the program with this
+                // nest in its current (partially transformed) state.
+                if self.options.validate_each_pass && applied && pass.structural() {
+                    let vstart = Instant::now();
+                    let mut candidate = original.clone();
+                    candidate.body.remove(idx);
+                    let current: Vec<Stmt> = match &state.decision {
+                        Some(Decision::Coalesced { stmts, .. }) => stmts.clone(),
+                        _ => vec![Stmt::Loop(cache.current().clone())],
+                    };
+                    for (off, s) in current.into_iter().enumerate() {
+                        candidate.body.insert(idx + off, s);
+                    }
+                    check_equivalent(original, &candidate, VALIDATE_SEED)?;
+                    trace.events.push(TraceEvent {
+                        nest: Some(idx),
+                        pass: format!("validate:{}", pass.name()),
+                        outcome: TraceOutcome::Validated,
+                        nanos: vstart.elapsed().as_nanos().max(1) as u64,
+                    });
+                }
             }
             trace.cache.absorb(&cache.stats);
             match state.decision {

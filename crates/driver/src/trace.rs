@@ -98,6 +98,16 @@ impl PipelineTrace {
             .sum()
     }
 
+    /// Per-pass rewrite totals in first-seen order — the pipeline's
+    /// work summary, computed from the events (the serialized trace
+    /// schema is unchanged). Passes that never applied report `0`.
+    pub fn pass_rewrites(&self) -> Vec<(&str, u64)> {
+        self.passes()
+            .into_iter()
+            .map(|p| (p, self.rewrites(p)))
+            .collect()
+    }
+
     /// Total time spent in a pass (nanoseconds) across all nests.
     pub fn pass_nanos(&self, pass: &str) -> u64 {
         self.events
@@ -130,13 +140,13 @@ impl PipelineTrace {
             );
         }
         let _ = writeln!(out, "per-pass totals:");
-        for pass in self.passes() {
+        for (pass, rewrites) in self.pass_rewrites() {
             let _ = writeln!(
                 out,
                 "  {:<16} {:>10}ns  {} rewrites",
                 pass,
                 self.pass_nanos(pass),
-                self.rewrites(pass)
+                rewrites
             );
         }
         let c = &self.cache;

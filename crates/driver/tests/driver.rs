@@ -400,3 +400,212 @@ fn advise_pass_overrides_the_band() {
     // Advice still needed only one dependence analysis.
     assert_eq!(out.trace.cache.deps_computed, 1);
 }
+
+#[test]
+fn mixed_nest_coalesces_with_constant_recovery_on_constant_levels() {
+    // Symbolic outer trip, constant inner trip: the per-level emitter
+    // keeps the inner stride a literal, so only the total trip count is
+    // computed at run time.
+    let out = Driver::default()
+        .compile(
+            "
+            array A[10][64];
+            n = 10;
+            doall i = 1..n {
+                doall j = 1..64 {
+                    A[i][j] = i * 100 + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+    assert_eq!(out.coalesced.len(), 1, "{:?}", out.skipped);
+    // Runtime trips report the symbolic marker.
+    assert!(out.coalesced[0].dims.is_empty());
+    assert!(out.transformed_source.contains("lcs_total = 64 * n"));
+    // Constant recovery: the inner-stride division is by the literal.
+    assert!(
+        out.transformed_source.contains("ceildiv(jc, 64)"),
+        "expected literal-stride recovery, got:\n{}",
+        out.transformed_source
+    );
+    assert!(
+        !out.transformed_source.contains("lcs_0"),
+        "no per-level stride scalar should be materialized:\n{}",
+        out.transformed_source
+    );
+}
+
+#[test]
+fn mixed_partial_collapse_of_constant_band_under_symbolic_outer() {
+    // The banded levels are constant even though the nest has a symbolic
+    // outer level; the band coalesces on the constant path with full
+    // metadata.
+    let out = Driver::new(DriverOptions {
+        coalesce: CoalesceOptions::builder().levels(1, 3).build(),
+        ..Default::default()
+    })
+    .compile(
+        "
+        array A[6][4][5];
+        n = 6;
+        doall i = 1..n {
+            doall j = 1..4 {
+                doall k = 1..5 {
+                    A[i][j][k] = i + 10 * j + 100 * k;
+                }
+            }
+        }
+        ",
+    )
+    .unwrap();
+    assert_eq!(out.coalesced.len(), 1, "{:?}", out.skipped);
+    assert_eq!(out.coalesced[0].dims, vec![4, 5]);
+    assert_eq!(out.coalesced[0].total_iterations, 20);
+    assert_eq!(out.coalesced[0].levels, (1, 3));
+    assert!(!out.transformed_source.contains("lcs_"));
+}
+
+#[test]
+fn mixed_partial_collapse_of_symbolic_band_under_constant_outer() {
+    // Band (1, 3) where one banded trip is symbolic: the collapse
+    // happens per level, with a preamble ahead of the preserved outer
+    // loop's body... the preamble precedes the whole rewritten loop.
+    let out = Driver::new(DriverOptions {
+        coalesce: CoalesceOptions::builder().levels(0, 2).build(),
+        ..Default::default()
+    })
+    .compile(
+        "
+        array A[6][4][5];
+        m = 4;
+        doall i = 1..6 {
+            doall j = 1..m {
+                doall k = 1..5 {
+                    A[i][j][k] = i + 10 * j + 100 * k;
+                }
+            }
+        }
+        ",
+    )
+    .unwrap();
+    assert_eq!(out.coalesced.len(), 1, "{:?}", out.skipped);
+    assert!(out.coalesced[0].dims.is_empty());
+    assert!(out.transformed_source.contains("lcs_total"));
+}
+
+#[test]
+fn custom_pass_order_is_honored() {
+    let options = DriverOptions {
+        pass_order: Some(vec!["normalize".to_string(), "coalesce".to_string()]),
+        ..Default::default()
+    };
+    let out = Driver::new(options)
+        .compile(
+            "
+            array A[6][4];
+            doall i = 1..6 {
+                doall j = 1..4 {
+                    A[i][j] = i + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+    assert_eq!(out.coalesced.len(), 1);
+    let passes: Vec<&str> = out
+        .trace
+        .events
+        .iter()
+        .filter(|e| e.nest == Some(0))
+        .map(|e| e.pass.as_str())
+        .collect();
+    assert_eq!(passes, vec!["normalize", "coalesce"]);
+}
+
+#[test]
+fn unknown_pass_name_is_reported() {
+    use lc_driver::PassManager;
+    let err = PassManager::with_pipeline(DriverOptions::default(), &["coalesce", "optimize"])
+        .err()
+        .expect("unknown name must be rejected");
+    assert!(err.contains("optimize"), "{err}");
+    assert!(
+        err.contains("coalesce"),
+        "error lists registered passes: {err}"
+    );
+}
+
+#[test]
+fn registry_resolves_the_default_order() {
+    use lc_driver::{pass_by_name, DEFAULT_PASS_ORDER};
+    for name in DEFAULT_PASS_ORDER {
+        let pass = pass_by_name(name).expect("default pass must be registered");
+        assert_eq!(pass.name(), name);
+    }
+    assert!(pass_by_name("no-such-pass").is_none());
+}
+
+#[test]
+fn validate_each_pass_traces_structural_validations() {
+    let options = DriverOptions {
+        validate_each_pass: true,
+        ..Default::default()
+    };
+    // Imperfect nest: perfection applies (structural), then coalesce.
+    let out = Driver::new(options)
+        .compile(
+            "
+            array A[6][4];
+            array R[6];
+            doall i = 1..6 {
+                R[i] = i * 2;
+                doall j = 1..4 {
+                    A[i][j] = i + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+    assert_eq!(out.coalesced.len(), 1, "{:?}", out.skipped);
+    let validations: Vec<&str> = out
+        .trace
+        .events
+        .iter()
+        .filter(|e| e.outcome == TraceOutcome::Validated && e.nest == Some(0))
+        .map(|e| e.pass.as_str())
+        .collect();
+    assert_eq!(validations, vec!["validate:perfect", "validate:coalesce"]);
+    // The trace (with the new event names) still round-trips.
+    let text = out.trace.to_json_string();
+    assert_eq!(
+        lc_driver::PipelineTrace::from_json_string(&text).unwrap(),
+        out.trace
+    );
+}
+
+#[test]
+fn pass_rewrites_summarizes_the_pipeline() {
+    let out = Driver::default()
+        .compile(
+            "
+            array A[6][4];
+            doall i = 2..7 {
+                doall j = 1..4 {
+                    A[i - 1][j] = i + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+    let rewrites = out.trace.pass_rewrites();
+    let get = |name: &str| {
+        rewrites
+            .iter()
+            .find(|(p, _)| *p == name)
+            .map(|(_, n)| *n)
+            .unwrap_or_else(|| panic!("pass {name} missing from {rewrites:?}"))
+    };
+    assert_eq!(get("normalize"), 1, "one offset header renormalized");
+    assert_eq!(get("coalesce"), 2, "two levels collapsed");
+}

@@ -44,6 +44,7 @@
 
 pub mod analysis;
 pub mod arith;
+pub mod build;
 pub mod error;
 pub mod expr;
 pub mod interp;
@@ -53,6 +54,7 @@ pub mod program;
 pub mod stmt;
 pub mod symbol;
 
+pub use build::{ExprBuilder, RecoveryCost};
 pub use error::{BoundPart, Error, Result, SkipReason};
 pub use expr::{ArrayRef, BinOp, CmpOp, Cond, Expr, UnOp};
 pub use program::{ArrayDecl, Program};

@@ -16,6 +16,12 @@
 //! with GSS dispatch (`≈ p·ln(N/p) + p` chunks). The estimate intentionally
 //! mirrors `lc-machine`'s simulator — an experiment (`A1`) checks the
 //! advisor's choice against exhaustively simulating every band.
+//!
+//! Recovery cost arrives as a typed [`RecoveryCost`] from the shared
+//! recovery-expression builder — the same count the rewrite itself emits
+//! — so the advisor and the analytic tables cannot drift apart.
+
+use lc_ir::build::RecoveryCost;
 
 /// Machine and workload parameters for the estimate. These mirror
 /// `lc_machine::CostModel` plus a constant per-iteration body cost.
@@ -82,14 +88,15 @@ fn gss_chunk_count(n: u64, p: u64) -> u64 {
 }
 
 /// Estimate the makespan of coalescing band `[s, e)` of `dims` under the
-/// given parameters. `recovery_cost(dims_band)` supplies the per-iteration
-/// index-recovery cost for a band (e.g.
-/// `lc_xform::recovery::per_iteration_cost`).
+/// given parameters. `recovery_cost(dims_band)` supplies the typed
+/// per-iteration index-recovery cost for a band (e.g.
+/// `lc_xform::recovery::per_iteration_cost`); the estimate charges its
+/// weighted [`RecoveryCost::units`].
 pub fn estimate_band(
     dims: &[u64],
     band: (usize, usize),
     params: &AdviseParams,
-    recovery_cost: &dyn Fn(&[u64]) -> u64,
+    recovery_cost: &dyn Fn(&[u64]) -> RecoveryCost,
 ) -> u64 {
     let (s, e) = band;
     assert!(s < e && e <= dims.len(), "invalid band");
@@ -109,7 +116,7 @@ pub fn estimate_band(
         }
         acc
     };
-    let per_iter = recovery_cost(&dims[s..e])
+    let per_iter = recovery_cost(&dims[s..e]).units()
         + params.loop_overhead
         + inner_headers * params.loop_overhead
         + inner * params.body_cost;
@@ -134,7 +141,7 @@ pub fn advise(
     dims: &[u64],
     legal: &[bool],
     params: &AdviseParams,
-    recovery_cost: &dyn Fn(&[u64]) -> u64,
+    recovery_cost: &dyn Fn(&[u64]) -> RecoveryCost,
 ) -> Advice {
     assert_eq!(dims.len(), legal.len());
     let mut candidates = Vec::new();
@@ -164,12 +171,17 @@ mod tests {
     use super::*;
 
     /// A recovery-cost stand-in matching the shape of the real one:
-    /// ~22 ops per level beyond the first, 1 for a single level.
-    fn rec(dims: &[u64]) -> u64 {
-        if dims.len() <= 1 {
+    /// ~22 weighted units per level beyond the first, 1 for a single
+    /// level (expressed as bare add units; only `units()` matters here).
+    fn rec(dims: &[u64]) -> RecoveryCost {
+        let units = if dims.len() <= 1 {
             1
         } else {
             22 * dims.len() as u64 - 21
+        };
+        RecoveryCost {
+            adds: units,
+            ..RecoveryCost::default()
         }
     }
 

@@ -357,3 +357,60 @@ fn loadgen_runs_the_corpus_and_reports_quantiles() {
     );
     server.shutdown();
 }
+
+/// Zero every `nanos` / `total_nanos` field so envelopes from different
+/// runs are comparable; everything else must stay byte-identical.
+fn normalize_envelope(v: &mut Json) {
+    match v {
+        Json::Arr(items) => items.iter_mut().for_each(normalize_envelope),
+        Json::Obj(pairs) => {
+            for (key, val) in pairs.iter_mut() {
+                if key == "nanos" || key == "total_nanos" {
+                    *val = Json::Int(0);
+                } else {
+                    normalize_envelope(val);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Regression pin for the transformation-layer refactor: the `/compile`
+/// envelope (coalesced source, skip diagnostics, and the full trace —
+/// timings normalized) must remain byte-identical to the pre-refactor
+/// facade output for the whole 72-program corpus. Regenerate the golden
+/// fixture with `UPDATE_FIXTURE=1 cargo test -p lc-service` only when
+/// an intentional output change is being made.
+#[test]
+fn compile_envelopes_match_the_pre_refactor_fixture() {
+    const FIXTURE: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/envelope72.jsonl"
+    );
+    let server = facade_server(|cfg| cfg.workers = 4);
+    let mut lines = Vec::new();
+    for (k, src) in corpus72().iter().enumerate() {
+        let resp = client::post(server.addr(), "/compile", src.as_bytes(), TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200, "program {k}: {}", resp.body_text());
+        let mut body = Json::parse(&resp.body_text()).expect("envelope is valid JSON");
+        normalize_envelope(&mut body);
+        lines.push(body.to_string());
+    }
+    server.shutdown();
+
+    let got = lines.join("\n") + "\n";
+    if std::env::var_os("UPDATE_FIXTURE").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; regenerate with UPDATE_FIXTURE=1");
+    for (k, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(
+            g, w,
+            "envelope for corpus program {k} diverged from the pre-refactor fixture"
+        );
+    }
+    assert_eq!(got, want, "envelope line count diverged from the fixture");
+}

@@ -252,6 +252,39 @@ mod tests {
             }
         }
 
+        // The three recovery schemes — ceiling (the paper's), div/mod,
+        // and the incremental odometer — must agree at every point of
+        // the space, for shapes up to rank 6 mixing degenerate (1),
+        // small, and larger trip counts.
+        #[test]
+        fn prop_three_schemes_agree_over_random_shapes(
+            dims in proptest::collection::vec(
+                prop_oneof![Just(1u64), 2u64..5, 5u64..17],
+                1..=6,
+            ),
+        ) {
+            let n = total_iterations(&dims).unwrap();
+            prop_assume!(n <= 4096);
+            let mut odo = Odometer::new(&dims);
+            for j in 1..=n as i64 {
+                let ceil = recover_ceiling(j, &dims);
+                let dm = recover_divmod(j, &dims);
+                prop_assert_eq!(&ceil, &dm, "ceiling vs divmod at j={}", j);
+                prop_assert_eq!(
+                    odo.indices(), ceil.as_slice(),
+                    "odometer vs ceiling at j={}", j
+                );
+                prop_assert_eq!(linearize(&ceil, &dims), j);
+                odo.advance();
+            }
+            prop_assert!(odo.exhausted());
+            // Amortized bound: with every trip count ≥ 2 a full sweep
+            // touches at most 2·N digits; degenerate (trip-1) levels
+            // carry on every advance, so only m·N holds in general.
+            let bound = if dims.iter().all(|&d| d >= 2) { 2 * n } else { dims.len() as u64 * n };
+            prop_assert!(odo.stats().digit_updates <= bound);
+        }
+
         #[test]
         fn prop_odometer_tracks_linear_index(
             dims in proptest::collection::vec(1u64..6, 1..4),

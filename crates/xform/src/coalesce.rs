@@ -22,11 +22,30 @@
 //! supported; outer levels are preserved around the coalesced loop and
 //! inner levels are preserved inside it.
 //!
+//! # Constant and symbolic trip counts
+//!
+//! [`coalesce_band`] is the single entry point for both compile-time and
+//! runtime trip counts, choosing the recovery form **per level**:
+//!
+//! * a level whose stride `P_k = Π_{l>k} N_l` folds to a constant gets a
+//!   literal stride in its recovery formula;
+//! * a level whose stride involves a runtime bound gets a scalar stride
+//!   (`lcs_k`) computed in a preamble ahead of the loop, as in the
+//!   paper's symbolic presentation.
+//!
+//! A mixed nest like `doall i = 1..n { doall j = 1..64 { … } }` therefore
+//! coalesces with fully-constant recovery on the constant levels and only
+//! the total trip count (`lcs_total = 64 * n`) computed at run time. When
+//! every banded trip count is symbolic the emission degenerates to the
+//! classic all-scalar stride preamble.
+//!
 //! # Legality
 //!
 //! A band of levels may be coalesced when
 //!
-//! 1. the loops form a perfect nest with constant (normalizable) bounds,
+//! 1. the loops form a perfect nest in unit form `1..=U step 1` (run
+//!    [`crate::normalize`] first for constant bounds; symbolic bounds
+//!    must additionally be loop-invariant),
 //! 2. no data dependence is *carried* at any coalesced level (each level is
 //!    DOALL-legal) — either the programmer marked every level `doall`, or
 //!    [`CoalesceOptions::check_legality`] lets the dependence tester prove
@@ -38,7 +57,8 @@
 use std::collections::HashSet;
 
 use lc_ir::analysis::depend::{analyze_nest, NestDeps};
-use lc_ir::analysis::nest::{extract_nest, Nest};
+use lc_ir::analysis::nest::{extract_nest, LoopHeader, Nest};
+use lc_ir::build::ExprBuilder;
 use lc_ir::expr::{Cond, Expr};
 use lc_ir::stmt::{Loop, LoopKind, Stmt};
 use lc_ir::symbol::Symbol;
@@ -180,13 +200,15 @@ impl CoalesceOptionsBuilder {
 /// and benchmark layers).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoalesceInfo {
-    /// Trip count of each coalesced level, outermost first.
+    /// Trip count of each coalesced level, outermost first. Empty when
+    /// any banded trip count is symbolic (known only at run time).
     pub dims: Vec<u64>,
-    /// `Π dims` — the coalesced loop's trip count.
+    /// `Π dims` — the coalesced loop's trip count; `0` when symbolic.
     pub total_iterations: u64,
     /// Recovery scheme emitted.
     pub scheme: RecoveryScheme,
-    /// Abstract per-iteration cost of the emitted recovery statements.
+    /// Abstract per-iteration cost of the emitted recovery statements;
+    /// `0` when any banded trip count is symbolic.
     pub recovery_cost_per_iteration: u64,
     /// The band `[start, end)` of original levels that were coalesced.
     pub levels: (usize, usize),
@@ -196,88 +218,130 @@ pub struct CoalesceInfo {
     pub coalesced_var: Symbol,
 }
 
-/// A coalescing outcome: the rewritten loop plus its metadata.
+/// A coalescing outcome: the rewritten loop, the (possibly empty) stride
+/// preamble, and metadata.
 #[derive(Debug, Clone)]
 pub struct CoalesceResult {
     /// The transformed outermost loop (outer uncoalesced levels intact).
     pub transformed: Loop,
+    /// Scalar assignments computing symbolic stride products; they must
+    /// precede the loop. Empty when every banded trip count is constant.
+    pub preamble: Vec<Stmt>,
     /// What happened.
     pub info: CoalesceInfo,
 }
 
-/// Coalesce (a band of levels of) the perfect nest rooted at `l`.
-///
-/// Convenience wrapper over [`coalesce_nest`]: extracts and (by default)
-/// normalizes the nest, then runs every analysis from scratch. Callers
-/// that already hold the normalized nest and its dependence analysis —
-/// e.g. `lc-driver`'s cached pipeline — should call [`coalesce_nest`]
-/// directly so nothing is recomputed.
-pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult> {
-    let mut nest = extract_nest(l);
-    if opts.auto_normalize {
-        nest = normalize_nest(&nest)?;
-    } else {
-        crate::normalize::require_normalized(&nest.loops)?;
+impl CoalesceResult {
+    /// Preamble + loop as a single statement list — splice this in place
+    /// of the original loop statement.
+    pub fn stmts(&self) -> Vec<Stmt> {
+        let mut out = self.preamble.clone();
+        out.push(Stmt::Loop(self.transformed.clone()));
+        out
     }
-    coalesce_nest(&nest, None, opts)
 }
 
-/// Coalesce an already-extracted, already-normalized nest.
+/// Coalesce (a band of levels of) the perfect nest rooted at `l`.
 ///
-/// `deps` optionally injects a precomputed dependence analysis of exactly
-/// this nest; when `None` (and `opts.check_legality` is set) the tester
-/// runs internally. Injecting lets a driver share one analysis between
-/// the legality check, the collapse-band advisor, and the coalescer.
-pub fn coalesce_nest(
+/// Convenience wrapper over [`coalesce_band`]: extracts the nest, tries
+/// to normalize it (when `auto_normalize` is set), and runs every
+/// analysis from scratch. Nests that cannot be normalized because a
+/// bound is symbolic go to the per-level emitter as-is — such loops must
+/// already be in unit form `1..=U step 1`. Callers that already hold the
+/// nest and its dependence analysis — e.g. `lc-driver`'s cached pipeline
+/// — should call [`coalesce_band`] directly so nothing is recomputed.
+pub fn coalesce_loop(l: &Loop, opts: &CoalesceOptions) -> Result<CoalesceResult> {
+    let nest = extract_nest(l);
+    if opts.auto_normalize {
+        match normalize_nest(&nest) {
+            Ok(normalized) => coalesce_band(&normalized, None, opts),
+            // Symbolic bounds cannot be pre-normalized; the per-level
+            // emitter handles them directly.
+            Err(Error::Unsupported(r)) if r.is_symbolic() => coalesce_band(&nest, None, opts),
+            Err(e) => Err(e),
+        }
+    } else {
+        crate::normalize::require_normalized(&nest.loops)?;
+        coalesce_band(&nest, None, opts)
+    }
+}
+
+/// Coalesce a band of an already-extracted nest, selecting constant or
+/// symbolic index recovery **per level**.
+///
+/// Every loop must be in unit form `1..=U step 1` (normalize first for
+/// constant bounds). `deps` optionally injects a precomputed dependence
+/// analysis of exactly this nest; when `None` (and `opts.check_legality`
+/// is set) the tester runs internally. Injecting lets a driver share one
+/// analysis between the legality check, the collapse-band advisor, and
+/// the coalescer.
+pub fn coalesce_band(
     nest: &Nest,
     deps: Option<&NestDeps>,
     opts: &CoalesceOptions,
 ) -> Result<CoalesceResult> {
-    crate::normalize::require_normalized(&nest.loops)?;
+    precheck_band(nest, deps, opts)?;
+
     let depth = nest.depth();
     let (start, end) = opts.levels.unwrap_or((0, depth));
-    if start >= end || end > depth {
-        return Err(Error::Unsupported(SkipReason::BandOutOfRange {
-            start,
-            end,
-            depth,
-        }));
+    let band = &nest.loops[start..end];
+
+    let used = used_symbols(nest);
+    let jvar = fresh_from(
+        &used,
+        opts.coalesced_var
+            .as_ref()
+            .map(|s| s.as_str())
+            .unwrap_or("jc"),
+    );
+
+    let const_trips: Option<Vec<u64>> = band.iter().map(LoopHeader::const_trip_count).collect();
+    let (mut body, preamble, upper, info) = match const_trips {
+        Some(dims) => emit_constant(nest, band, &used, &jvar, dims, (start, end), opts)?,
+        None => emit_per_level(band, &used, &jvar, (start, end), depth, opts),
+    };
+
+    // Inner uncoalesced levels wrap the nest body inside the coalesced
+    // loop; outer uncoalesced levels wrap the coalesced loop, unchanged.
+    body.extend(wrap_levels(&nest.loops[end..], nest.body.clone()));
+    let mut result = Loop {
+        var: jvar,
+        lower: Expr::lit(1),
+        upper,
+        step: Expr::lit(1),
+        kind: LoopKind::Doall,
+        body,
+    };
+    for h in nest.loops[..start].iter().rev() {
+        result = rebuild_level(h, vec![Stmt::Loop(result)]);
     }
 
-    check_band_legality(nest, deps, start, end, opts)?;
+    Ok(CoalesceResult {
+        transformed: result,
+        preamble,
+        info,
+    })
+}
 
-    let dims: Vec<u64> = nest.loops[start..end]
-        .iter()
-        .map(|h| h.const_trip_count().expect("normalized"))
-        .collect();
+/// The all-constant emission: literal total trip count, recovery via
+/// [`recovery_stmts`], optional strength reduction, typed cost.
+fn emit_constant(
+    nest: &Nest,
+    band: &[LoopHeader],
+    used: &HashSet<String>,
+    jvar: &Symbol,
+    dims: Vec<u64>,
+    levels: (usize, usize),
+    opts: &CoalesceOptions,
+) -> Result<(Vec<Stmt>, Vec<Stmt>, Expr, CoalesceInfo)> {
     let total = total_iterations(&dims)?;
+    let level_vars: Vec<Symbol> = band.iter().map(|h| h.var.clone()).collect();
 
-    let jvar = fresh_var(opts.coalesced_var.clone(), nest);
-    let level_vars: Vec<Symbol> = nest.loops[start..end]
-        .iter()
-        .map(|h| h.var.clone())
-        .collect();
-
-    // Innermost body: the uncoalesced inner levels wrapped around the nest
-    // body, unchanged.
-    let mut inner_body = nest.body.clone();
-    for h in nest.loops[end..].iter().rev() {
-        inner_body = vec![Stmt::Loop(Loop {
-            var: h.var.clone(),
-            lower: h.lower.clone(),
-            upper: h.upper.clone(),
-            step: h.step.clone(),
-            kind: h.kind,
-            body: inner_body,
-        })];
-    }
-
-    let mut recovery = recovery_stmts(opts.scheme, &jvar, &level_vars, &dims);
-    let mut recovery_cost = per_iteration_cost(opts.scheme, &dims);
+    let mut recovery = recovery_stmts(opts.scheme, jvar, &level_vars, &dims);
+    let mut recovery_cost = per_iteration_cost(opts.scheme, &dims).units();
     if opts.strength_reduce {
         // Temp names are `{prefix}{n}` for arbitrary n: pick a prefix no
         // existing symbol starts with, so no temp can collide.
-        let used = used_symbols(nest);
         let prefix = (0u32..)
             .map(|i| {
                 if i == 0 {
@@ -288,32 +352,10 @@ pub fn coalesce_nest(
             })
             .find(|p| !used.iter().any(|u| u.starts_with(p.as_str())))
             .expect("some prefix is always free");
-        let (optimized, report) = crate::strength::cse_recovery(&recovery, &prefix);
-        recovery = optimized;
-        recovery_cost = report.cost_after;
-    }
-    let mut body = recovery;
-    body.extend(inner_body);
-
-    let mut result = Loop {
-        var: jvar.clone(),
-        lower: Expr::lit(1),
-        upper: Expr::lit(total as i64),
-        step: Expr::lit(1),
-        kind: LoopKind::Doall,
-        body,
-    };
-
-    // Outer uncoalesced levels wrap the coalesced loop, unchanged.
-    for h in nest.loops[..start].iter().rev() {
-        result = Loop {
-            var: h.var.clone(),
-            lower: h.lower.clone(),
-            upper: h.upper.clone(),
-            step: h.step.clone(),
-            kind: h.kind,
-            body: vec![Stmt::Loop(result)],
-        };
+        let mut builder = ExprBuilder::from_stmts(recovery);
+        builder.intern_shared_divisions(&prefix);
+        recovery_cost = builder.cost().units();
+        recovery = builder.into_stmts();
     }
 
     let info = CoalesceInfo {
@@ -321,14 +363,159 @@ pub fn coalesce_nest(
         dims,
         total_iterations: total,
         scheme: opts.scheme,
-        levels: (start, end),
-        original_depth: depth,
-        coalesced_var: jvar,
+        levels,
+        original_depth: nest.depth(),
+        coalesced_var: jvar.clone(),
     };
-    Ok(CoalesceResult {
-        transformed: result,
-        info,
-    })
+    Ok((recovery, Vec::new(), Expr::lit(total as i64), info))
+}
+
+/// The per-level emission for bands with at least one symbolic trip
+/// count. Strides that fold to constants stay literals in the recovery
+/// formulas; symbolic strides become `lcs_k` scalars in the preamble.
+/// When *every* banded trip is symbolic this degenerates to the classic
+/// all-scalar stride chain.
+fn emit_per_level(
+    band: &[LoopHeader],
+    used: &HashSet<String>,
+    jvar: &Symbol,
+    levels: (usize, usize),
+    depth: usize,
+    opts: &CoalesceOptions,
+) -> (Vec<Stmt>, Vec<Stmt>, Expr, CoalesceInfo) {
+    let m = band.len();
+    // With every trip symbolic, materialize every stride (including the
+    // constant innermost `1`) so the emission matches the paper's
+    // all-symbolic preamble shape exactly.
+    let force_scalar = band.iter().all(|h| h.upper.as_const().is_none());
+
+    let mut preamble = ExprBuilder::new();
+    let mut strides: Vec<Expr> = vec![Expr::lit(1); m];
+    let mut running = Expr::lit(1);
+    for k in (0..m).rev() {
+        let stride = if force_scalar || running.as_const().is_none() {
+            let name = fresh_from(used, &format!("lcs_{k}"));
+            preamble.assign(name.clone(), running.clone());
+            Expr::Var(name)
+        } else {
+            running.clone()
+        };
+        running = (stride.clone() * band[k].upper.clone()).fold();
+        strides[k] = stride;
+    }
+    let upper = if running.as_const().is_some() {
+        // Possible despite a symbolic bound: a constant zero-trip level
+        // annihilates the product.
+        running
+    } else {
+        let total_name = fresh_from(used, "lcs_total");
+        preamble.assign(total_name.clone(), running);
+        Expr::Var(total_name)
+    };
+
+    // Recovery per level, on whatever form each stride took.
+    let j = Expr::Var(jvar.clone());
+    let mut recovery = ExprBuilder::new();
+    for (k, h) in band.iter().enumerate() {
+        let stride = strides[k].clone();
+        let expr = match opts.scheme {
+            RecoveryScheme::Ceiling => {
+                let first = j.clone().ceil_div(stride.clone());
+                if k == 0 {
+                    first
+                } else {
+                    let outer = (stride * h.upper.clone()).fold();
+                    first - h.upper.clone() * (j.clone().ceil_div(outer) - Expr::lit(1))
+                }
+            }
+            RecoveryScheme::DivMod => {
+                let q = j.clone() - Expr::lit(1);
+                let shifted = q.floor_div(stride);
+                if k == 0 {
+                    shifted + Expr::lit(1)
+                } else {
+                    shifted.floor_mod(h.upper.clone()) + Expr::lit(1)
+                }
+            }
+        };
+        recovery.assign(h.var.clone(), expr);
+    }
+
+    // Dims are runtime values: the scheduling layer sees the symbolic
+    // marker (empty dims, zero totals).
+    let info = CoalesceInfo {
+        dims: Vec::new(),
+        total_iterations: 0,
+        scheme: opts.scheme,
+        recovery_cost_per_iteration: 0,
+        levels,
+        original_depth: depth,
+        coalesced_var: jvar.clone(),
+    };
+    (recovery.into_stmts(), preamble.into_stmts(), upper, info)
+}
+
+/// Check — without rewriting anything — that the band requested by
+/// `opts` can legally be coalesced on `nest`.
+///
+/// This is the complete legality precheck [`coalesce_band`] runs before
+/// emitting code: band range, unit form, bound invariance, and DOALL
+/// legality (dependence test + scalar privatization when
+/// [`CoalesceOptions::check_legality`] is set). `Ok(())` guarantees the
+/// subsequent [`coalesce_band`] call cannot fail except on arithmetic
+/// overflow of a constant trip-count product.
+pub fn precheck_band(nest: &Nest, deps: Option<&NestDeps>, opts: &CoalesceOptions) -> Result<()> {
+    let depth = nest.depth();
+    let (start, end) = opts.levels.unwrap_or((0, depth));
+    if start >= end || end > depth {
+        return Err(Error::Unsupported(SkipReason::BandOutOfRange {
+            start,
+            end,
+            depth,
+        }));
+    }
+
+    // Every level must read `1..=U step 1`. Constant-bound loops that
+    // are not in this form are merely un-normalized (normalization can
+    // fix them); loops with a symbolic bound part are out of scope.
+    for h in &nest.loops {
+        if h.lower.as_const() != Some(1) || h.step.as_const() != Some(1) {
+            let all_parts_const = h.lower.as_const().is_some()
+                && h.step.as_const().is_some()
+                && h.upper.as_const().is_some();
+            let reason = if all_parts_const {
+                SkipReason::NotNormalized { var: h.var.clone() }
+            } else {
+                SkipReason::NotUnitNormalized { var: h.var.clone() }
+            };
+            return Err(Error::Unsupported(reason));
+        }
+    }
+
+    let band = &nest.loops[start..end];
+
+    // Symbolic upper bounds must be invariant: no banded bound may
+    // mention a variable assigned inside the nest or any nest index.
+    // (Constant bounds mention no variables; the scan is skipped.)
+    if band.iter().any(|h| h.upper.as_const().is_none()) {
+        let mut assigned = Vec::new();
+        collect_assigned(&nest.body, &mut assigned);
+        for h in &nest.loops {
+            assigned.push(h.var.clone());
+        }
+        for h in band {
+            let mut vars = Vec::new();
+            h.upper.variables(&mut vars);
+            if let Some(v) = vars.iter().find(|v| assigned.contains(v)) {
+                return Err(Error::Unsupported(SkipReason::VariantBound {
+                    var: h.var.clone(),
+                    dep: v.clone(),
+                }));
+            }
+        }
+    }
+
+    check_band_legality(nest, deps, start, end, opts)
 }
 
 fn check_band_legality(
@@ -338,46 +525,65 @@ fn check_band_legality(
     end: usize,
     opts: &CoalesceOptions,
 ) -> Result<()> {
-    let marked_doall = nest.loops[start..end].iter().all(|h| h.kind.is_doall());
-    if !marked_doall && !opts.check_legality {
-        let bad = nest.loops[start..end]
-            .iter()
-            .find(|h| !h.kind.is_doall())
-            .expect("some level is not doall");
-        return Err(Error::Unsupported(SkipReason::NotDoall {
-            var: bad.var.clone(),
-        }));
-    }
-    if opts.check_legality {
-        let owned;
-        let deps = match deps {
-            Some(d) => d,
-            None => {
-                owned = analyze_nest(nest)?;
-                &owned
-            }
-        };
-        for level in start..end {
-            if deps.carried_at(level) {
-                return Err(Error::Unsupported(SkipReason::CarriedDependence {
-                    level,
-                    var: nest.loops[level].var.clone(),
-                }));
-            }
+    let band = &nest.loops[start..end];
+    if !opts.check_legality {
+        if let Some(bad) = band.iter().find(|h| !h.kind.is_doall()) {
+            // Keep the historical diagnostics of the two paths: named for
+            // constant bands, anonymous for symbolic ones.
+            let reason = if band.iter().all(|h| h.upper.as_const().is_some()) {
+                SkipReason::NotDoall {
+                    var: bad.var.clone(),
+                }
+            } else {
+                SkipReason::NotDoallUnchecked
+            };
+            return Err(Error::Unsupported(reason));
         }
-        scalar_privatization_ok(nest, start, end)?;
+        return Ok(());
     }
-    Ok(())
+    let owned;
+    let deps = match deps {
+        Some(d) => d,
+        None => {
+            owned = analyze_nest(nest)?;
+            &owned
+        }
+    };
+    for level in start..end {
+        if deps.carried_at(level) {
+            return Err(Error::Unsupported(SkipReason::CarriedDependence {
+                level,
+                var: nest.loops[level].var.clone(),
+            }));
+        }
+    }
+    scalar_privatization_ok(nest, start, end)
 }
 
-/// Pick a name that collides with nothing in the nest.
-fn fresh_var(requested: Option<Symbol>, nest: &Nest) -> Symbol {
-    let used = used_symbols(nest);
-    let base = requested
-        .map(|s| s.as_str().to_string())
-        .unwrap_or_else(|| "jc".to_string());
-    if !used.contains(base.as_str()) {
-        return Symbol::new(&base);
+/// Rebuild one preserved nest level around `body`.
+fn rebuild_level(h: &LoopHeader, body: Vec<Stmt>) -> Loop {
+    Loop {
+        var: h.var.clone(),
+        lower: h.lower.clone(),
+        upper: h.upper.clone(),
+        step: h.step.clone(),
+        kind: h.kind,
+        body,
+    }
+}
+
+/// Wrap `body` in the given preserved levels, innermost-last.
+fn wrap_levels(headers: &[LoopHeader], mut body: Vec<Stmt>) -> Vec<Stmt> {
+    for h in headers.iter().rev() {
+        body = vec![Stmt::Loop(rebuild_level(h, body))];
+    }
+    body
+}
+
+/// Pick a name that collides with nothing in `used`.
+fn fresh_from(used: &HashSet<String>, base: &str) -> Symbol {
+    if !used.contains(base) {
+        return Symbol::new(base);
     }
     let mut n = 0usize;
     loop {
@@ -435,32 +641,48 @@ fn collect_stmt_symbols(stmts: &[Stmt], out: &mut Vec<Symbol>) {
     }
 }
 
+/// Everything *assigned* in the statements: scalar targets plus loop
+/// index variables (used to prove banded bounds loop-invariant).
+fn collect_assigned(stmts: &[Stmt], out: &mut Vec<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, .. } => out.push(var.clone()),
+            Stmt::AssignArray { .. } => {}
+            Stmt::Loop(l) => {
+                out.push(l.var.clone());
+                collect_assigned(&l.body, out);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+        }
+    }
+}
+
 /// Verify that every scalar assigned anywhere in the (sub)nest body is
 /// written before it is read on every path — i.e. it can be privatized per
 /// iteration, so iterations do not communicate through it.
 pub(crate) fn scalar_privatization_ok(nest: &Nest, _start: usize, end: usize) -> Result<()> {
-    // The statements executed per coalesced iteration: the inner levels
-    // below `end` plus the innermost body. Loop variables of those inner
-    // levels are defined by their loops; variables of coalesced and outer
-    // levels are defined by recovery/outer loops.
-    let mut body = nest.body.clone();
-    for h in nest.loops[end..].iter().rev() {
-        body = vec![Stmt::Loop(Loop {
-            var: h.var.clone(),
-            lower: h.lower.clone(),
-            upper: h.upper.clone(),
-            step: h.step.clone(),
-            kind: h.kind,
-            body,
-        })];
-    }
-
     let mut assigned = HashSet::new();
-    collect_assigned_scalars(&body, &mut assigned);
+    collect_assigned_scalars(&nest.body, &mut assigned);
 
-    // Variables defined on entry to each iteration: every nest level var.
+    // Variables defined on entry to each iteration: every nest level var
+    // (coalesced and outer vars via recovery/outer loops, inner vars by
+    // their preserved loops).
     let mut defined: HashSet<Symbol> = nest.loops.iter().map(|h| h.var.clone()).collect();
-    walk_check(&body, &assigned, &mut defined)
+    // The preserved inner headers execute per coalesced iteration: their
+    // bound expressions are reads too.
+    for h in &nest.loops[end..] {
+        check_reads_expr(&h.lower, &assigned, &defined)?;
+        check_reads_expr(&h.upper, &assigned, &defined)?;
+        check_reads_expr(&h.step, &assigned, &defined)?;
+    }
+    walk_check(&nest.body, &assigned, &mut defined)
 }
 
 fn collect_assigned_scalars(stmts: &[Stmt], out: &mut HashSet<Symbol>) {
@@ -573,14 +795,19 @@ mod tests {
             .unwrap()
     }
 
-    /// Coalesce the (first) loop of a program and check the transformed
-    /// program produces an identical store under several doall orders.
-    fn check_coalesce(src: &str, opts: &CoalesceOptions) -> CoalesceInfo {
+    /// Coalesce the (first) loop of a program, splice preamble + loop in
+    /// its place, and check the transformed program produces an identical
+    /// store under several doall orders.
+    fn check_coalesce(src: &str, opts: &CoalesceOptions) -> CoalesceResult {
         let p = parse_program(src).unwrap();
         let (idx, l) = loop_of(&p);
         let out = coalesce_loop(&l, opts).unwrap();
+
         let mut p2 = p.clone();
-        p2.body[idx] = Stmt::Loop(out.transformed.clone());
+        p2.body.remove(idx);
+        for (off, s) in out.stmts().into_iter().enumerate() {
+            p2.body.insert(idx + off, s);
+        }
         p2.check().expect("transformed program must be well-formed");
 
         let reference = Interp::new().run(&p).unwrap();
@@ -596,7 +823,7 @@ mod tests {
                 "coalesced program diverged under {order:?} for:\n{src}"
             );
         }
-        out.info
+        out
     }
 
     #[test]
@@ -610,21 +837,22 @@ mod tests {
             }
             ";
         for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
-            let info = check_coalesce(
+            let out = check_coalesce(
                 src,
                 &CoalesceOptions {
                     scheme,
                     ..Default::default()
                 },
             );
-            assert_eq!(info.dims, vec![6, 4]);
-            assert_eq!(info.total_iterations, 24);
+            assert_eq!(out.info.dims, vec![6, 4]);
+            assert_eq!(out.info.total_iterations, 24);
+            assert!(out.preamble.is_empty(), "constant nests need no preamble");
         }
     }
 
     #[test]
     fn coalesce_3d_fill() {
-        let info = check_coalesce(
+        let out = check_coalesce(
             "
             array A[3][4][5];
             doall i = 1..3 {
@@ -637,13 +865,13 @@ mod tests {
             ",
             &CoalesceOptions::default(),
         );
-        assert_eq!(info.total_iterations, 60);
-        assert!(info.recovery_cost_per_iteration > 0);
+        assert_eq!(out.info.total_iterations, 60);
+        assert!(out.info.recovery_cost_per_iteration > 0);
     }
 
     #[test]
     fn coalesce_partial_band_inner_two_of_three() {
-        let info = check_coalesce(
+        let out = check_coalesce(
             "
             array A[3][4][5];
             doall i = 1..3 {
@@ -659,14 +887,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(info.dims, vec![4, 5]);
-        assert_eq!(info.levels, (1, 3));
+        assert_eq!(out.info.dims, vec![4, 5]);
+        assert_eq!(out.info.levels, (1, 3));
     }
 
     #[test]
     fn coalesce_partial_band_outer_two_of_three() {
         // Inner level stays serial inside the coalesced loop.
-        let info = check_coalesce(
+        let out = check_coalesce(
             "
             array A[3][4][5];
             doall i = 1..3 {
@@ -682,7 +910,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(info.dims, vec![3, 4]);
+        assert_eq!(out.info.dims, vec![3, 4]);
     }
 
     #[test]
@@ -698,6 +926,29 @@ mod tests {
             ",
             &CoalesceOptions::default(),
         );
+    }
+
+    #[test]
+    fn unnormalized_rejected_without_auto_normalize() {
+        let p = parse_program(
+            "
+            array A[10];
+            doall i = 2..5 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(
+            &l,
+            &CoalesceOptions {
+                auto_normalize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
     }
 
     #[test]
@@ -783,7 +1034,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, Error::Unsupported(_)));
+        assert!(matches!(
+            err,
+            Error::Unsupported(SkipReason::NotDoall { .. })
+        ));
     }
 
     #[test]
@@ -921,8 +1175,7 @@ mod tests {
 
     #[test]
     fn fresh_variable_avoids_collision() {
-        let p = parse_program(
-            "
+        let src = "
             array A[3][3];
             doall i = 1..3 {
                 doall j = 1..3 {
@@ -930,30 +1183,18 @@ mod tests {
                     A[i][j] = jc;
                 }
             }
-            ",
-        )
-        .unwrap();
+            ";
+        let p = parse_program(src).unwrap();
         let (_, l) = loop_of(&p);
         let out = coalesce_loop(&l, &CoalesceOptions::default()).unwrap();
         assert_ne!(out.info.coalesced_var.as_str(), "jc");
         // And the transformed program still computes the same thing.
-        check_coalesce(
-            "
-            array A[3][3];
-            doall i = 1..3 {
-                doall j = 1..3 {
-                    jc = i + j;
-                    A[i][j] = jc;
-                }
-            }
-            ",
-            &CoalesceOptions::default(),
-        );
+        check_coalesce(src, &CoalesceOptions::default());
     }
 
     #[test]
     fn single_level_coalesce_is_allowed() {
-        let info = check_coalesce(
+        let out = check_coalesce(
             "
             array A[7];
             doall i = 1..7 {
@@ -962,7 +1203,7 @@ mod tests {
             ",
             &CoalesceOptions::default(),
         );
-        assert_eq!(info.total_iterations, 7);
+        assert_eq!(out.info.total_iterations, 7);
     }
 
     #[test]
@@ -1015,10 +1256,10 @@ mod tests {
             },
         );
         assert!(
-            reduced.recovery_cost_per_iteration < plain.recovery_cost_per_iteration,
+            reduced.info.recovery_cost_per_iteration < plain.info.recovery_cost_per_iteration,
             "CSE did not reduce cost: {} vs {}",
-            reduced.recovery_cost_per_iteration,
-            plain.recovery_cost_per_iteration
+            reduced.info.recovery_cost_per_iteration,
+            plain.info.recovery_cost_per_iteration
         );
     }
 
@@ -1074,5 +1315,305 @@ mod tests {
         };
         assert!(cost(2) < cost(3));
         assert!(cost(3) < cost(4));
+    }
+
+    // ------------------------------------------------------------------
+    // Symbolic and mixed trip counts (runtime bounds).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn symbolic_2d_both_schemes() {
+        let src = "
+            array A[12][9];
+            n = 12;
+            m = 9;
+            doall i = 1..n {
+                doall j = 1..m {
+                    A[i][j] = i * 100 + j;
+                }
+            }
+            ";
+        for scheme in [RecoveryScheme::Ceiling, RecoveryScheme::DivMod] {
+            let out = check_coalesce(
+                src,
+                &CoalesceOptions {
+                    scheme,
+                    ..Default::default()
+                },
+            );
+            // All-symbolic: every stride is a preamble scalar
+            // (lcs_1, lcs_0, lcs_total), and dims are unknown.
+            assert_eq!(out.preamble.len(), 3);
+            assert!(out.info.dims.is_empty());
+            assert_eq!(out.info.total_iterations, 0);
+        }
+    }
+
+    #[test]
+    fn symbolic_3d() {
+        check_coalesce(
+            "
+            array V[3][4][5];
+            a = 3;
+            b = 4;
+            c = 5;
+            doall i = 1..a {
+                doall j = 1..b {
+                    doall k = 1..c {
+                        V[i][j][k] = i + 10 * j + 100 * k;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn symbolic_bound_expressions() {
+        // Bounds that are arithmetic over runtime scalars.
+        check_coalesce(
+            "
+            array A[20][10];
+            n = 10;
+            doall i = 1..n + n {
+                doall j = 1..n {
+                    A[i][j] = i - j;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn mixed_constant_and_symbolic() {
+        // Outer trip constant, inner symbolic: the inner stride is the
+        // literal 1 but the outer stride (= the inner trip) is runtime.
+        let out = check_coalesce(
+            "
+            array A[7][11];
+            m = 11;
+            doall i = 1..7 {
+                doall j = 1..m {
+                    A[i][j] = i * j;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+        assert_eq!(out.preamble.len(), 2, "lcs_0 = m; lcs_total = lcs_0 * 7");
+    }
+
+    #[test]
+    fn mixed_nest_uses_constant_recovery_on_constant_levels() {
+        // The acceptance-shaped nest: symbolic outer, constant inner.
+        // The inner stride (64) folds to a literal, so the only runtime
+        // computation is the total trip count — recovery itself mentions
+        // no stride scalar at all.
+        let out = check_coalesce(
+            "
+            array A[5][64];
+            n = 5;
+            doall i = 1..n {
+                doall j = 1..64 {
+                    A[i][j] = i * 1000 + j;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+        assert_eq!(out.preamble.len(), 1, "only lcs_total is computed");
+        match &out.preamble[0] {
+            Stmt::AssignScalar { var, .. } => assert_eq!(var.as_str(), "lcs_total"),
+            other => panic!("unexpected preamble stmt {other:?}"),
+        }
+        let mut vars = Vec::new();
+        collect_stmt_symbols(&out.transformed.body, &mut vars);
+        assert!(
+            !vars.iter().any(|v| v.as_str().starts_with("lcs")),
+            "recovery must use literal strides, got {vars:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_partial_band_with_symbolic_outer_level_kept() {
+        // Band (1, 3) of a 3-deep nest with a symbolic outermost level:
+        // the coalesced band is fully constant, so this takes the
+        // constant emission even though the nest as a whole is symbolic.
+        let out = check_coalesce(
+            "
+            array A[4][5][6];
+            n = 4;
+            doall i = 1..n {
+                doall j = 1..5 {
+                    doall k = 1..6 {
+                        A[i][j][k] = i + 10 * j + 100 * k;
+                    }
+                }
+            }
+            ",
+            &CoalesceOptions {
+                levels: Some((1, 3)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.info.dims, vec![5, 6]);
+        assert_eq!(out.info.total_iterations, 30);
+        assert!(out.preamble.is_empty());
+    }
+
+    #[test]
+    fn partial_band_with_symbolic_inner_serial() {
+        check_coalesce(
+            "
+            array A[6][8];
+            array S[6];
+            n = 6;
+            m = 8;
+            doall i = 1..n {
+                acc = 0;
+                for j = 1..m {
+                    acc = acc + A[i][j];
+                }
+                S[i] = acc;
+            }
+            ",
+            &CoalesceOptions {
+                levels: Some((0, 1)),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn offset_bounds_are_rejected() {
+        let p = parse_program(
+            "
+            array A[10];
+            n = 9;
+            doall i = 2..n {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn bound_modified_inside_nest_is_rejected() {
+        let p = parse_program(
+            "
+            array A[10][10];
+            n = 10;
+            doall i = 1..n {
+                n = 5;
+                doall j = 1..n {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
+        match err {
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::VariantBound { .. }), "{m}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn carried_dependence_rejected_symbolically() {
+        let p = parse_program(
+            "
+            array A[20];
+            n = 20;
+            for i = 1..n {
+                A[i] = A[i] + 1;
+            }
+            ",
+        )
+        .unwrap();
+        // This one is fine (no carried dep) — now a genuinely carried one:
+        let p2 = parse_program(
+            "
+            array A[21];
+            n = 20;
+            for i = 1..n {
+                A[i + 1] = A[i] + 1;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        assert!(coalesce_loop(&l, &CoalesceOptions::default()).is_ok());
+        let (_, l2) = loop_of(&p2);
+        assert!(coalesce_loop(&l2, &CoalesceOptions::default()).is_err());
+    }
+
+    #[test]
+    fn symbolic_scalar_reduction_is_rejected() {
+        let p = parse_program(
+            "
+            array A[16];
+            n = 16;
+            s = 0;
+            doall i = 1..n {
+                s = s + A[i];
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = loop_of(&p);
+        let err = coalesce_loop(&l, &CoalesceOptions::default()).unwrap_err();
+        match err {
+            Error::Unsupported(m) => {
+                assert!(matches!(m, SkipReason::ScalarReduction { .. }), "{m}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_collisions_are_avoided() {
+        check_coalesce(
+            "
+            array A[4][5];
+            jc = 1;
+            lcs_0 = 2;
+            lcs_total = 3;
+            n = 4;
+            doall i = 1..n {
+                doall j = 1..5 {
+                    A[i][j] = i + j + jc + lcs_0 + lcs_total;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
+    }
+
+    #[test]
+    fn zero_trip_symbolic_loop() {
+        // n = 0: the coalesced loop runs 1..0 — empty, no divisions by the
+        // zero stride are ever evaluated.
+        check_coalesce(
+            "
+            array A[5][5];
+            n = 0;
+            doall i = 1..n {
+                doall j = 1..5 {
+                    A[i][j] = 1;
+                }
+            }
+            ",
+            &CoalesceOptions::default(),
+        );
     }
 }

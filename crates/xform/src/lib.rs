@@ -13,7 +13,10 @@
 //!   step form the recovery formulas assume.
 //! * [`coalesce`] — the transformation: full or partial collapse of a
 //!   perfect nest, with legality checking (DOALL-ness via `lc-ir`'s
-//!   dependence analysis plus a scalar-privatization check).
+//!   dependence analysis plus a scalar-privatization check). One entry
+//!   point handles compile-time and runtime trip counts, choosing the
+//!   recovery form per level: constant strides stay literals, symbolic
+//!   stride products become scalar computations ahead of the loop.
 //! * [`interchange`] / [`stripmine`] — the companion transformations the
 //!   paper positions coalescing against (interchange to move a parallel
 //!   loop outward; strip-mining/chunking to coarsen grain).
@@ -25,9 +28,9 @@
 //! * [`strength`] — common-subexpression extraction over generated
 //!   recovery code (the paper's observation that adjacent indices share
 //!   their ceiling terms).
-//! * [`symbolic`] — coalescing with *runtime* trip counts (the paper's
-//!   `N_k` are symbolic): stride products are emitted as scalar
-//!   computations ahead of the loop.
+//! * [`transform`] — the [`Transform`] trait: one uniform
+//!   name / precheck / apply contract over all of the above, so drivers
+//!   can run a data-driven pipeline instead of hand-wired calls.
 //! * [`validate`] — interpreter-based equivalence and order-independence
 //!   checking used by the test-suite to prove transformations correct.
 //!
@@ -66,8 +69,9 @@ pub mod perfect;
 pub mod recovery;
 pub mod strength;
 pub mod stripmine;
-pub mod symbolic;
+pub mod transform;
 pub mod validate;
 
-pub use coalesce::{coalesce_loop, CoalesceInfo, CoalesceOptions, CoalesceResult};
+pub use coalesce::{coalesce_band, coalesce_loop, CoalesceInfo, CoalesceOptions, CoalesceResult};
 pub use recovery::{Odometer, RecoveryScheme};
+pub use transform::{Rewrite, Transform, TransformCx};

@@ -29,6 +29,7 @@
 //! emitting the recovery statements a transformed loop body executes, and
 //! costing them in abstract instructions.
 
+use lc_ir::build::RecoveryCost;
 use lc_ir::expr::Expr;
 use lc_ir::stmt::Stmt;
 use lc_ir::symbol::Symbol;
@@ -112,21 +113,18 @@ pub fn recovery_stmts(
     out
 }
 
-/// Abstract per-iteration cost (in weighted instructions, see
-/// [`lc_ir::expr::BinOp::op_cost`]) of the recovery statements a scheme
-/// emits for the given trip counts.
-pub fn per_iteration_cost(scheme: RecoveryScheme, dims: &[u64]) -> u64 {
+/// Typed per-iteration cost of the recovery statements a scheme emits
+/// for the given trip counts. The weighted scalar view
+/// ([`RecoveryCost::units`]) is on the [`lc_ir::expr::BinOp::op_cost`]
+/// scale (one extra unit per store); the typed breakdown lets the
+/// scheduler and the analytic tables reason about the division count
+/// directly, from the same source the rewrite uses.
+pub fn per_iteration_cost(scheme: RecoveryScheme, dims: &[u64]) -> RecoveryCost {
     let j = Symbol::new("j");
     let vars: Vec<Symbol> = (0..dims.len())
         .map(|k| Symbol::new(format!("i{k}")))
         .collect();
-    recovery_stmts(scheme, &j, &vars, dims)
-        .iter()
-        .map(|s| match s {
-            Stmt::AssignScalar { value, .. } => value.op_cost() + 1, // +1 store
-            _ => unreachable!("recovery_stmts emits scalar assigns"),
-        })
-        .sum()
+    RecoveryCost::of_stmts(&recovery_stmts(scheme, &j, &vars, dims))
 }
 
 #[cfg(test)]
@@ -243,22 +241,34 @@ mod tests {
 
     #[test]
     fn recovery_cost_grows_with_depth() {
-        let c2 = per_iteration_cost(RecoveryScheme::Ceiling, &[10, 10]);
-        let c4 = per_iteration_cost(RecoveryScheme::Ceiling, &[10, 10, 10, 10]);
+        let c2 = per_iteration_cost(RecoveryScheme::Ceiling, &[10, 10]).units();
+        let c4 = per_iteration_cost(RecoveryScheme::Ceiling, &[10, 10, 10, 10]).units();
         assert!(c4 > c2);
         let d2 = per_iteration_cost(RecoveryScheme::DivMod, &[10, 10]);
         let d4 = per_iteration_cost(RecoveryScheme::DivMod, &[10, 10, 10, 10]);
-        assert!(d4 > d2);
-        assert!(c2 > 0 && d2 > 0);
+        assert!(d4.units() > d2.units());
+        assert!(d4.divs > d2.divs, "deeper nests need more divisions");
+        assert!(c2 > 0 && d2.units() > 0);
     }
 
     #[test]
     fn single_level_recovery_is_nearly_free() {
         // i_0 = j for a one-level "nest": the folded statement is a plain
         // copy, costing just the store.
-        assert_eq!(per_iteration_cost(RecoveryScheme::Ceiling, &[100]), 1);
+        let c = per_iteration_cost(RecoveryScheme::Ceiling, &[100]);
+        assert_eq!(c.units(), 1);
+        assert_eq!(
+            c,
+            RecoveryCost {
+                stores: 1,
+                ..RecoveryCost::default()
+            }
+        );
         // (j - 1)/1 + 1 folds to (j - 1) + 1: two adds plus the store.
-        assert_eq!(per_iteration_cost(RecoveryScheme::DivMod, &[100]), 3);
+        assert_eq!(
+            per_iteration_cost(RecoveryScheme::DivMod, &[100]).units(),
+            3
+        );
     }
 
     proptest! {

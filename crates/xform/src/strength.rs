@@ -4,16 +4,14 @@
 //! The paper observes that adjacent recovery formulas share their ceiling
 //! terms — `i_k` needs `⌈j/P_k⌉` and `⌈j/P_{k+1}⌉`, and `i_{k+1}` needs
 //! `⌈j/P_{k+1}⌉` again. Hoisting each repeated division into a temporary
-//! roughly halves the per-iteration division count for deep nests. This
-//! pass performs that extraction generically: any division-bearing
-//! subexpression (`/`, `%`, `ceildiv`) occurring at least twice across the
-//! statements is hoisted, most profitable first.
+//! roughly halves the per-iteration division count for deep nests.
+//!
+//! The extraction machinery itself now lives in the shared
+//! recovery-expression builder ([`lc_ir::ExprBuilder`]); this module is
+//! the reporting wrapper the coalescer and the bench tables call.
 
-use std::collections::HashMap;
-
-use lc_ir::expr::{BinOp, Expr};
+use lc_ir::build::{ExprBuilder, RecoveryCost};
 use lc_ir::stmt::Stmt;
-use lc_ir::symbol::Symbol;
 
 /// What a [`cse_recovery`] run achieved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,180 +30,27 @@ pub struct CseReport {
 /// savings report. Statements other than scalar assignments are passed
 /// through untouched (their expressions still participate in counting).
 pub fn cse_recovery(stmts: &[Stmt], temp_prefix: &str) -> (Vec<Stmt>, CseReport) {
-    let cost = |ss: &[Stmt]| -> u64 {
-        ss.iter()
-            .map(|s| match s {
-                Stmt::AssignScalar { value, .. } => value.op_cost() + 1,
-                Stmt::AssignArray { target, value } => {
-                    target.indices.iter().map(Expr::op_cost).sum::<u64>() + value.op_cost() + 1
-                }
-                _ => 0,
-            })
-            .sum()
-    };
-    let cost_before = cost(stmts);
-
-    let mut temps: Vec<Stmt> = Vec::new();
-    let mut work: Vec<Stmt> = stmts.to_vec();
-    let mut hoisted = 0usize;
-
-    loop {
-        // Count division-bearing subexpressions across all current values
-        // (including already-hoisted temps, enabling nested sharing).
-        let mut counts: HashMap<Expr, usize> = HashMap::new();
-        let mut scan = |e: &Expr| collect_divisions(e, &mut counts);
-        for s in temps.iter().chain(work.iter()) {
-            match s {
-                Stmt::AssignScalar { value, .. } => scan(value),
-                Stmt::AssignArray { target, value } => {
-                    for ix in &target.indices {
-                        scan(ix);
-                    }
-                    scan(value);
-                }
-                _ => {}
-            }
-        }
-        // Most profitable candidate: highest (count-1) * cost; ties broken
-        // toward smaller expressions so inner divisions hoist first.
-        let best = counts
-            .into_iter()
-            .filter(|(_, c)| *c >= 2)
-            .max_by_key(|(e, c)| {
-                (
-                    (*c as u64 - 1) * e.op_cost(),
-                    std::cmp::Reverse(e.op_cost()),
-                )
-            });
-        let Some((pat, _)) = best else { break };
-
-        let temp = Symbol::new(format!("{temp_prefix}{hoisted}"));
-        let rep = Expr::Var(temp.clone());
-        for s in temps.iter_mut().chain(work.iter_mut()) {
-            rewrite_stmt(s, &pat, &rep);
-        }
-        temps.push(Stmt::AssignScalar {
-            var: temp,
-            value: pat,
-        });
-        hoisted += 1;
-    }
-
-    // Temporaries must precede their uses; they were appended in hoist
-    // order, but a later temp can be *used by* an earlier one (we rewrote
-    // earlier temps too). Order by dependency: a temp that mentions another
-    // temp must come after it. Hoisting order guarantees acyclicity;
-    // repeatedly emit temps whose operands are all available.
-    let ordered = order_temps(temps);
-
-    let mut out = ordered;
-    out.extend(work);
+    let mut builder = ExprBuilder::from_stmts(stmts.to_vec());
+    let cost_before = builder.cost().units();
+    let hoisted = builder.intern_shared_divisions(temp_prefix);
+    let out = builder.into_stmts();
     let report = CseReport {
         hoisted,
         cost_before,
-        cost_after: cost(&out),
+        cost_after: RecoveryCost::of_stmts(&out).units(),
     };
     (out, report)
-}
-
-fn order_temps(temps: Vec<Stmt>) -> Vec<Stmt> {
-    let names: Vec<Symbol> = temps
-        .iter()
-        .map(|s| match s {
-            Stmt::AssignScalar { var, .. } => var.clone(),
-            _ => unreachable!("temps are scalar assigns"),
-        })
-        .collect();
-    let mut emitted = vec![false; temps.len()];
-    let mut out = Vec::with_capacity(temps.len());
-    while out.len() < temps.len() {
-        let mut progressed = false;
-        for (i, t) in temps.iter().enumerate() {
-            if emitted[i] {
-                continue;
-            }
-            let Stmt::AssignScalar { value, .. } = t else {
-                unreachable!()
-            };
-            let mut vars = Vec::new();
-            value.variables(&mut vars);
-            let ready = vars.iter().all(|v| {
-                names
-                    .iter()
-                    .position(|n| n == v)
-                    .map(|j| emitted[j])
-                    .unwrap_or(true)
-            });
-            if ready {
-                out.push(t.clone());
-                emitted[i] = true;
-                progressed = true;
-            }
-        }
-        assert!(progressed, "cyclic temp dependencies cannot occur");
-    }
-    out
-}
-
-fn collect_divisions(e: &Expr, counts: &mut HashMap<Expr, usize>) {
-    match e {
-        Expr::Const(_) | Expr::Var(_) => {}
-        Expr::Read(r) => {
-            for ix in &r.indices {
-                collect_divisions(ix, counts);
-            }
-        }
-        Expr::Unary(_, a) => collect_divisions(a, counts),
-        Expr::Binary(op, a, b) => {
-            if matches!(op, BinOp::Div | BinOp::Mod | BinOp::CeilDiv) {
-                *counts.entry(e.clone()).or_insert(0) += 1;
-            }
-            collect_divisions(a, counts);
-            collect_divisions(b, counts);
-        }
-    }
-}
-
-fn rewrite_stmt(s: &mut Stmt, pat: &Expr, rep: &Expr) {
-    match s {
-        Stmt::AssignScalar { value, .. } => *value = replace(value, pat, rep),
-        Stmt::AssignArray { target, value } => {
-            for ix in &mut target.indices {
-                *ix = replace(ix, pat, rep);
-            }
-            *value = replace(value, pat, rep);
-        }
-        _ => {}
-    }
-}
-
-/// Replace every occurrence of the subtree `pat` in `e` with `rep`.
-fn replace(e: &Expr, pat: &Expr, rep: &Expr) -> Expr {
-    if e == pat {
-        return rep.clone();
-    }
-    match e {
-        Expr::Const(_) | Expr::Var(_) => e.clone(),
-        Expr::Read(r) => Expr::Read(lc_ir::expr::ArrayRef {
-            array: r.array.clone(),
-            indices: r.indices.iter().map(|ix| replace(ix, pat, rep)).collect(),
-        }),
-        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(replace(a, pat, rep))),
-        Expr::Binary(op, a, b) => Expr::Binary(
-            *op,
-            Box::new(replace(a, pat, rep)),
-            Box::new(replace(b, pat, rep)),
-        ),
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::recovery::{recovery_stmts, RecoveryScheme};
+    use lc_ir::expr::Expr;
     use lc_ir::interp::Interp;
     use lc_ir::program::Program;
     use lc_ir::stmt::Loop;
+    use lc_ir::symbol::Symbol;
 
     fn recovery_block(scheme: RecoveryScheme, dims: &[u64]) -> Vec<Stmt> {
         let j = Symbol::new("j");

@@ -1,0 +1,536 @@
+//! The [`Transform`] trait — one uniform surface over every rewrite in
+//! this crate.
+//!
+//! Each transformation exposes the same three-step contract:
+//!
+//! 1. [`Transform::name`] — a stable identifier for traces and
+//!    configuration (pipeline orders are lists of these names);
+//! 2. [`Transform::precheck`] — a side-effect-free legality check
+//!    returning a typed [`SkipReason`] when the rewrite cannot apply;
+//! 3. [`Transform::apply`] — the rewrite itself, returning a [`Rewrite`]
+//!    summary: replacement statements, a rewrite count, and (for
+//!    coalescing) the [`CoalesceInfo`] metadata.
+//!
+//! Drivers iterate a list of `&dyn Transform` values instead of calling
+//! five differently-shaped free functions; new transformations plug in
+//! by implementing the trait. The free functions remain public — the
+//! trait impls here are thin adapters over them, so direct callers and
+//! pipeline callers run identical code.
+//!
+//! # Example
+//!
+//! ```
+//! use lc_ir::analysis::nest::extract_nest;
+//! use lc_ir::parser::parse_program;
+//! use lc_xform::coalesce::CoalesceOptions;
+//! use lc_xform::transform::{Coalesce, Transform, TransformCx};
+//!
+//! let prog = parse_program(
+//!     "
+//!     array A[6][4];
+//!     doall i = 1..6 {
+//!         doall j = 1..4 {
+//!             A[i][j] = 10 * i + j;
+//!         }
+//!     }
+//!     ",
+//! )
+//! .unwrap();
+//! let lc_ir::Stmt::Loop(l) = &prog.body[0] else { unreachable!() };
+//! let nest = extract_nest(l);
+//! let t = Coalesce::new(CoalesceOptions::default());
+//! let cx = TransformCx::default();
+//! t.precheck(&nest, &cx).expect("legal");
+//! let rewrite = t.apply(l, &nest, &cx).unwrap();
+//! assert_eq!(rewrite.rewrites, 2); // two levels collapsed
+//! ```
+
+use lc_ir::analysis::depend::NestDeps;
+use lc_ir::analysis::nest::Nest;
+use lc_ir::build::ExprBuilder;
+use lc_ir::stmt::{Loop, Stmt};
+use lc_ir::{Error, Result, SkipReason};
+
+use crate::coalesce::{coalesce_band, precheck_band, CoalesceInfo, CoalesceOptions};
+use crate::interchange::interchange;
+use crate::normalize::normalize_nest;
+use crate::perfect::perfect_recursively;
+
+/// Shared, read-only context handed to every [`Transform`] call.
+///
+/// Drivers that memoize analyses populate the fields; standalone callers
+/// can pass [`TransformCx::default`] and each transform recomputes what
+/// it needs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransformCx<'a> {
+    /// A dependence analysis of exactly the nest being transformed, if
+    /// the caller already ran one.
+    pub deps: Option<&'a NestDeps>,
+}
+
+/// Summary of an applied transformation.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// Statements replacing the original loop statement (a preamble, if
+    /// any, followed by the rewritten loop).
+    pub replacement: Vec<Stmt>,
+    /// Transform-specific count of rewrites performed: headers
+    /// renormalized, statements sunk, levels swapped or collapsed,
+    /// subterms hoisted. `0` means the transform was a no-op.
+    pub rewrites: u64,
+    /// Coalescing metadata, when the transform was a coalescing.
+    pub info: Option<CoalesceInfo>,
+}
+
+impl Rewrite {
+    /// A rewrite that leaves the loop unchanged.
+    pub fn noop(l: &Loop) -> Rewrite {
+        Rewrite {
+            replacement: vec![Stmt::Loop(l.clone())],
+            rewrites: 0,
+            info: None,
+        }
+    }
+}
+
+/// A loop-nest transformation with a uniform legality / apply contract.
+///
+/// Implementations must be stateless behind `&self` (configuration is
+/// fine, mutation is not) so one instance can serve concurrent pipeline
+/// workers.
+pub trait Transform: Send + Sync {
+    /// Stable name used in traces and pipeline configuration.
+    fn name(&self) -> &'static str;
+
+    /// Check whether the transform can apply to `nest`, without
+    /// rewriting anything. The default accepts every nest; transforms
+    /// with real legality conditions override this.
+    fn precheck(&self, nest: &Nest, cx: &TransformCx<'_>) -> std::result::Result<(), SkipReason> {
+        let _ = (nest, cx);
+        Ok(())
+    }
+
+    /// Rewrite the loop. `nest` is the extracted form of `l`; the two
+    /// describe the same code. Returns the replacement statements and a
+    /// rewrite count; implementations should return [`Rewrite::noop`]
+    /// rather than an error when there is simply nothing to do.
+    fn apply(&self, l: &Loop, nest: &Nest, cx: &TransformCx<'_>) -> Result<Rewrite>;
+}
+
+/// Convert an internal `Result` into a precheck verdict, folding
+/// non-`Unsupported` errors into [`SkipReason::Other`].
+fn verdict<T>(r: Result<T>) -> std::result::Result<(), SkipReason> {
+    match r {
+        Ok(_) => Ok(()),
+        Err(Error::Unsupported(reason)) => Err(reason),
+        Err(e) => Err(SkipReason::Other(e.to_string())),
+    }
+}
+
+/// [`Transform`] adapter over [`crate::normalize`]: rewrite every header
+/// into `1..=N step 1` form.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Normalize;
+
+impl Transform for Normalize {
+    fn name(&self) -> &'static str {
+        "normalize"
+    }
+
+    fn precheck(&self, nest: &Nest, _cx: &TransformCx<'_>) -> std::result::Result<(), SkipReason> {
+        if nest.is_normalized() {
+            return Ok(());
+        }
+        verdict(normalize_nest(nest))
+    }
+
+    fn apply(&self, l: &Loop, nest: &Nest, _cx: &TransformCx<'_>) -> Result<Rewrite> {
+        let unnormalized = nest.loops.iter().filter(|h| !h.is_normalized()).count() as u64;
+        if unnormalized == 0 {
+            return Ok(Rewrite::noop(l));
+        }
+        let normalized = normalize_nest(nest)?;
+        Ok(Rewrite {
+            replacement: vec![Stmt::Loop(normalized.to_loop())],
+            rewrites: unnormalized,
+            info: None,
+        })
+    }
+}
+
+/// [`Transform`] adapter over [`crate::perfect`]: sink prologue/epilogue
+/// statements under first/last-iteration guards until the nest is
+/// perfect.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Perfection;
+
+impl Transform for Perfection {
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+
+    fn apply(&self, l: &Loop, _nest: &Nest, _cx: &TransformCx<'_>) -> Result<Rewrite> {
+        let perfected = perfect_recursively(l)?;
+        if perfected == *l {
+            return Ok(Rewrite::noop(l));
+        }
+        Ok(Rewrite {
+            replacement: vec![Stmt::Loop(perfected)],
+            rewrites: 1,
+            info: None,
+        })
+    }
+}
+
+/// [`Transform`] adapter over [`crate::interchange`]: swap the loop at
+/// `level` with the one below it (to move a parallel level outward).
+#[derive(Debug, Clone, Copy)]
+pub struct Interchange {
+    /// 0-based nest level to swap with `level + 1`.
+    pub level: usize,
+}
+
+impl Transform for Interchange {
+    fn name(&self) -> &'static str {
+        "interchange"
+    }
+
+    fn precheck(&self, nest: &Nest, _cx: &TransformCx<'_>) -> std::result::Result<(), SkipReason> {
+        verdict(interchange(&nest.to_loop(), self.level))
+    }
+
+    fn apply(&self, l: &Loop, _nest: &Nest, _cx: &TransformCx<'_>) -> Result<Rewrite> {
+        let swapped = interchange(l, self.level)?;
+        Ok(Rewrite {
+            replacement: vec![Stmt::Loop(swapped)],
+            rewrites: 1,
+            info: None,
+        })
+    }
+}
+
+/// [`Transform`] adapter over [`crate::coalesce`]: collapse a band of
+/// nest levels into one parallel loop with per-level index recovery.
+#[derive(Debug, Clone, Default)]
+pub struct Coalesce {
+    /// Coalescing configuration (band, scheme, legality checking, …).
+    pub opts: CoalesceOptions,
+}
+
+impl Coalesce {
+    /// A coalescing transform with the given options.
+    pub fn new(opts: CoalesceOptions) -> Coalesce {
+        Coalesce { opts }
+    }
+}
+
+impl Transform for Coalesce {
+    fn name(&self) -> &'static str {
+        "coalesce"
+    }
+
+    fn precheck(&self, nest: &Nest, cx: &TransformCx<'_>) -> std::result::Result<(), SkipReason> {
+        verdict(precheck_band(nest, cx.deps, &self.opts))
+    }
+
+    fn apply(&self, _l: &Loop, nest: &Nest, cx: &TransformCx<'_>) -> Result<Rewrite> {
+        let opts = self.opts.clone().clamped_to_depth(nest.depth());
+        let result = coalesce_band(nest, cx.deps, &opts)?;
+        let (start, end) = result.info.levels;
+        Ok(Rewrite {
+            replacement: result.stmts(),
+            rewrites: (end - start) as u64,
+            info: Some(result.info),
+        })
+    }
+}
+
+/// [`Transform`] adapter over [`crate::strength`]: hoist division
+/// subterms shared across the statements of the loop body into temps
+/// (profitable on generated recovery code, where adjacent indices share
+/// their `⌈j/P⌉` terms).
+#[derive(Debug, Clone)]
+pub struct StrengthReduce {
+    /// Prefix for hoisted temporaries; the caller must ensure it cannot
+    /// collide with names in scope.
+    pub temp_prefix: String,
+}
+
+impl Default for StrengthReduce {
+    fn default() -> Self {
+        StrengthReduce {
+            temp_prefix: "rc_".to_string(),
+        }
+    }
+}
+
+impl Transform for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength-reduce"
+    }
+
+    fn apply(&self, l: &Loop, _nest: &Nest, _cx: &TransformCx<'_>) -> Result<Rewrite> {
+        let mut builder = ExprBuilder::from_stmts(l.body.clone());
+        let hoisted = builder.intern_shared_divisions(&self.temp_prefix);
+        if hoisted == 0 {
+            return Ok(Rewrite::noop(l));
+        }
+        let mut reduced = l.clone();
+        reduced.body = builder.into_stmts();
+        Ok(Rewrite {
+            replacement: vec![Stmt::Loop(reduced)],
+            rewrites: hoisted as u64,
+            info: None,
+        })
+    }
+}
+
+/// The crate's transforms in the standard pipeline order, ready to drive
+/// data-driven pass managers. `Interchange` defaults to level 0 and
+/// `Coalesce`/`StrengthReduce` to their default options; drivers with
+/// configuration build their own list.
+pub fn standard_transforms() -> Vec<Box<dyn Transform>> {
+    vec![
+        Box::new(Normalize),
+        Box::new(Perfection),
+        Box::new(Interchange { level: 0 }),
+        Box::new(Coalesce::default()),
+        Box::new(StrengthReduce::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::analysis::nest::extract_nest;
+    use lc_ir::interp::{DoallOrder, Interp};
+    use lc_ir::parser::parse_program;
+    use lc_ir::program::Program;
+
+    fn first_loop(p: &Program) -> (usize, Loop) {
+        p.body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| match s {
+                Stmt::Loop(l) => Some((i, l.clone())),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    fn apply_spliced(p: &Program, t: &dyn Transform) -> (Program, Rewrite) {
+        let (idx, l) = first_loop(p);
+        let nest = extract_nest(&l);
+        let cx = TransformCx::default();
+        t.precheck(&nest, &cx).expect("precheck must pass");
+        let rewrite = t.apply(&l, &nest, &cx).unwrap();
+        let mut p2 = p.clone();
+        p2.body.remove(idx);
+        for (off, s) in rewrite.replacement.iter().cloned().enumerate() {
+            p2.body.insert(idx + off, s);
+        }
+        p2.check().expect("rewritten program must be well-formed");
+        (p2, rewrite)
+    }
+
+    fn assert_equivalent(p: &Program, p2: &Program) {
+        let reference = Interp::new().run(p).unwrap();
+        for order in [DoallOrder::Forward, DoallOrder::Shuffled(11)] {
+            let got = Interp::new().with_order(order).run(p2).unwrap();
+            assert_eq!(reference, got, "transform changed program semantics");
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let ts = standard_transforms();
+        let names: Vec<&str> = ts.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "normalize",
+                "perfect",
+                "interchange",
+                "coalesce",
+                "strength-reduce"
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_transform_rewrites_offset_headers() {
+        let p = parse_program(
+            "
+            array A[20];
+            doall i = 3..17 step 2 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (p2, rewrite) = apply_spliced(&p, &Normalize);
+        assert_eq!(rewrite.rewrites, 1);
+        assert_equivalent(&p, &p2);
+    }
+
+    #[test]
+    fn normalize_transform_is_noop_on_unit_form() {
+        let p = parse_program(
+            "
+            array A[5];
+            doall i = 1..5 {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, rewrite) = apply_spliced(&p, &Normalize);
+        assert_eq!(rewrite.rewrites, 0);
+    }
+
+    #[test]
+    fn normalize_precheck_rejects_symbolic_bounds() {
+        let p = parse_program(
+            "
+            array A[10];
+            n = 10;
+            doall i = 2..n {
+                A[i] = i;
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = first_loop(&p);
+        let nest = extract_nest(&l);
+        let err = Normalize
+            .precheck(&nest, &TransformCx::default())
+            .unwrap_err();
+        assert!(err.is_symbolic(), "expected a symbolic skip, got {err}");
+    }
+
+    #[test]
+    fn coalesce_transform_matches_direct_entry_point() {
+        let p = parse_program(
+            "
+            array A[4][6];
+            doall i = 1..4 {
+                doall j = 1..6 {
+                    A[i][j] = i * 10 + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (p2, rewrite) = apply_spliced(&p, &Coalesce::default());
+        assert_equivalent(&p, &p2);
+        let info = rewrite.info.expect("coalescing reports info");
+        assert_eq!(info.dims, vec![4, 6]);
+        assert_eq!(rewrite.rewrites, 2);
+
+        let (_, l) = first_loop(&p);
+        let direct = crate::coalesce::coalesce_loop(&l, &CoalesceOptions::default()).unwrap();
+        assert_eq!(direct.stmts(), rewrite.replacement);
+    }
+
+    #[test]
+    fn coalesce_precheck_reports_typed_reason_without_rewriting() {
+        let p = parse_program(
+            "
+            array A[8];
+            s = 0;
+            doall i = 1..8 {
+                s = s + A[i];
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = first_loop(&p);
+        let nest = extract_nest(&l);
+        let err = Coalesce::default()
+            .precheck(&nest, &TransformCx::default())
+            .unwrap_err();
+        assert!(matches!(err, SkipReason::ScalarReduction { .. }), "{err}");
+    }
+
+    #[test]
+    fn interchange_transform_swaps_levels() {
+        // Outer level carries a dependence, inner is parallel: after the
+        // swap the parallel loop is outermost.
+        let p = parse_program(
+            "
+            array A[8][8];
+            for i = 1..8 {
+                for j = 1..8 {
+                    A[i][j] = A[i][j] + i + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (p2, rewrite) = apply_spliced(&p, &Interchange { level: 0 });
+        assert_eq!(rewrite.rewrites, 1);
+        assert_equivalent(&p, &p2);
+    }
+
+    #[test]
+    fn perfection_transform_sinks_prologue() {
+        let p = parse_program(
+            "
+            array A[6][5];
+            array R[6];
+            doall i = 1..6 {
+                R[i] = i;
+                doall j = 1..5 {
+                    A[i][j] = i + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (p2, rewrite) = apply_spliced(&p, &Perfection);
+        assert_eq!(rewrite.rewrites, 1);
+        assert_equivalent(&p, &p2);
+    }
+
+    #[test]
+    fn strength_reduce_transform_hoists_shared_divisions() {
+        // A body sharing ceildiv(j, 6) across two statements.
+        let p = parse_program(
+            "
+            array A[24];
+            array B[24];
+            doall j = 1..24 {
+                A[j] = ceildiv(j, 6) + 1;
+                B[j] = ceildiv(j, 6) * 2;
+            }
+            ",
+        )
+        .unwrap();
+        let (p2, rewrite) = apply_spliced(&p, &StrengthReduce::default());
+        assert_eq!(rewrite.rewrites, 1, "one shared division hoisted");
+        assert_equivalent(&p, &p2);
+    }
+
+    #[test]
+    fn injected_deps_are_honored() {
+        use lc_ir::analysis::depend::analyze_nest;
+        let p = parse_program(
+            "
+            array A[4][4];
+            for i = 1..4 {
+                for j = 1..4 {
+                    A[i][j] = i * j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        let (_, l) = first_loop(&p);
+        let nest = extract_nest(&l);
+        let deps = analyze_nest(&nest).unwrap();
+        let cx = TransformCx { deps: Some(&deps) };
+        Coalesce::default().precheck(&nest, &cx).expect("legal");
+        let rewrite = Coalesce::default().apply(&l, &nest, &cx).unwrap();
+        assert_eq!(rewrite.rewrites, 2);
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
         light: 1,
     };
     let cost = CostModel::default();
-    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims);
+    let rec = per_iteration_cost(RecoveryScheme::Ceiling, &dims).units();
     let body = move |iv: &[i64]| model.cost(iv);
 
     let seq = simulate_nest(&dims, 1, ExecMode::Sequential, &cost, &body).makespan;
