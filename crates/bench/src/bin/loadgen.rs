@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N]
-//!            [--workers N] [--out PATH]
+//!            [--workers N] [--out PATH] [--best-of N]
+//!            [--baseline PATH] [--max-regress PCT]
 //! ```
 //!
 //! Without `--addr` the generator starts an in-process server (with
@@ -11,19 +12,49 @@
 //! shuts it down — one command produces a complete benchmark. The
 //! report is printed human-readably and written as JSON to `--out`
 //! (default `BENCH_service.json`).
+//!
+//! `--best-of N` repeats the whole measurement N times and reports the
+//! run with the lowest p95 — the minimum is far less sensitive to
+//! scheduler noise than any single run, which matters when gating.
+//!
+//! With `--baseline`, the (best) run's p95 latency is gated against the
+//! `p95_micros` field of the given JSON report (itself a previous
+//! `--out`): exceeding it by more than `--max-regress` percent
+//! (default 25) exits nonzero. The committed baseline is a *typical*
+//! single measurement while the gated run takes the best of five, so
+//! ordinary scheduler noise lands inside the budget and only a real
+//! slowdown — one that even the quietest of five runs can't hide —
+//! trips the gate. Refresh the committed baseline with
+//!
+//! ```text
+//! cargo run --release -p lc-bench --bin lc-loadgen -- \
+//!     --rounds 20 --out BENCH_baseline.json
+//! ```
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
+use lc_driver::json::Json;
 use lc_service::corpus::corpus72;
-use lc_service::loadgen::{run, LoadgenConfig};
+use lc_service::loadgen::{check_p95_regression, run, LoadgenConfig};
 use lc_service::{Server, ServiceConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N] [--workers N] [--out PATH]"
+        "usage: lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N] [--workers N] \
+         [--out PATH] [--best-of N] [--baseline PATH] [--max-regress PCT]"
     );
     ExitCode::FAILURE
+}
+
+/// Read `p95_micros` out of a previously-written loadgen report.
+fn baseline_p95(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    match json.get("p95_micros") {
+        Some(Json::Int(v)) if *v >= 0 => Ok(*v as u64),
+        _ => Err(format!("{path} has no integer p95_micros field")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -31,6 +62,9 @@ fn main() -> ExitCode {
     let mut addr: Option<SocketAddr> = None;
     let mut workers = 4usize;
     let mut out_path = "BENCH_service.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut max_regress_pct = 25u64;
+    let mut best_of = 1usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -64,6 +98,15 @@ fn main() -> ExitCode {
                 Err(_) => return usage(),
             },
             "--out" => out_path = value.clone(),
+            "--baseline" => baseline_path = Some(value.clone()),
+            "--best-of" => match value.parse() {
+                Ok(n) if n >= 1 => best_of = n,
+                _ => return usage(),
+            },
+            "--max-regress" => match value.parse() {
+                Ok(n) => max_regress_pct = n,
+                Err(_) => return usage(),
+            },
             _ => {
                 eprintln!("lc-loadgen: unknown flag {flag}");
                 return usage();
@@ -102,7 +145,19 @@ fn main() -> ExitCode {
         config.rounds,
         config.concurrency
     );
-    let report = run(addr, &corpus, &config);
+    let mut report = run(addr, &corpus, &config);
+    for attempt in 1..best_of {
+        let again = run(addr, &corpus, &config);
+        eprintln!(
+            "lc-loadgen: attempt {}: p95 {} us (best so far {} us)",
+            attempt + 1,
+            again.p95_micros,
+            report.p95_micros.min(again.p95_micros)
+        );
+        if again.p95_micros < report.p95_micros {
+            report = again;
+        }
+    }
 
     if let Some(server) = own_server {
         server.shutdown();
@@ -130,5 +185,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("lc-loadgen: wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let p95 = match baseline_p95(&path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("lc-loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_p95_regression(report.p95_micros, p95, max_regress_pct) {
+            Ok(()) => eprintln!(
+                "lc-loadgen: p95 {} us within {max_regress_pct}% of baseline {p95} us",
+                report.p95_micros
+            ),
+            Err(verdict) => {
+                eprintln!("lc-loadgen: {verdict}");
+                eprintln!(
+                    "lc-loadgen: if intentional, refresh with: cargo run --release -p lc-bench \
+                     --bin lc-loadgen -- --rounds 20 --out {path}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

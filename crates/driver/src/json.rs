@@ -17,6 +17,16 @@
 
 use std::fmt;
 
+/// Maximum container nesting depth [`Json::parse`] accepts. The parser
+/// is recursive-descent, so without a cap an adversarial document of
+/// tens of thousands of `[` would exhaust the thread stack — and a
+/// stack overflow aborts the whole process, which the compile server
+/// (whose `/batch` route parses untrusted JSON on connection threads)
+/// cannot tolerate. Beyond this depth parsing reports
+/// [`ParseError::TooDeep`]. Every document the driver itself emits
+/// nests a handful of levels.
+pub const MAX_JSON_DEPTH: usize = 256;
+
 /// A JSON value. Object keys keep insertion order so output is
 /// deterministic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +105,11 @@ pub enum ParseError {
     },
     /// A string literal containing invalid UTF-8.
     InvalidUtf8,
+    /// Containers nested deeper than [`MAX_JSON_DEPTH`].
+    TooDeep {
+        /// The depth limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -115,6 +130,9 @@ impl fmt::Display for ParseError {
             }
             ParseError::TrailingInput { at } => write!(f, "trailing input at byte {at}"),
             ParseError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            ParseError::TooDeep { limit } => {
+                write!(f, "containers nested deeper than {limit} levels")
+            }
         }
     }
 }
@@ -190,6 +208,7 @@ impl Json {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -252,6 +271,7 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -290,11 +310,29 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(ParseError::Unexpected { at: self.pos }),
         }
+    }
+
+    /// Bump the container depth around `[`/`{` recursion, rejecting
+    /// documents nested beyond [`MAX_JSON_DEPTH`].
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Json, ParseError>,
+    ) -> Result<Json, ParseError> {
+        self.depth += 1;
+        let r = if self.depth > MAX_JSON_DEPTH {
+            Err(ParseError::TooDeep {
+                limit: MAX_JSON_DEPTH,
+            })
+        } else {
+            f(self)
+        };
+        self.depth -= 1;
+        r
     }
 
     fn number(&mut self) -> Result<Json, ParseError> {
@@ -572,6 +610,33 @@ mod tests {
             Json::parse("\"\\ud800\\u0041\""),
             Err(ParseError::LoneSurrogate { code: 0xD800 })
         );
+    }
+
+    #[test]
+    fn deeply_nested_arrays_are_rejected_not_overflowed() {
+        let depth = 100_000;
+        let src = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert_eq!(
+            Json::parse(&src),
+            Err(ParseError::TooDeep {
+                limit: MAX_JSON_DEPTH
+            })
+        );
+        // Same for objects.
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("{\"k\":");
+        }
+        assert!(matches!(Json::parse(&src), Err(ParseError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn nesting_below_the_limit_parses() {
+        let depth = MAX_JSON_DEPTH;
+        let src = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&src).is_ok());
+        let src = format!("{}1{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(Json::parse(&src).is_err());
     }
 
     #[test]

@@ -227,6 +227,42 @@ impl Driver {
         }
     }
 
+    /// Fallible constructor: build a driver running exactly the named
+    /// passes, in order. Unlike [`Driver::new`], an unknown pass name in
+    /// `order` (or in `options.pass_order`, which `order` overrides) is
+    /// reported as an error instead of panicking — the entry point for
+    /// callers assembling pipelines from untrusted or generated input,
+    /// such as the differential fuzzer permuting
+    /// [`pipeline::DEFAULT_PASS_ORDER`]. The returned driver is
+    /// re-runnable: one handle compiles any number of programs (also
+    /// concurrently).
+    pub fn with_pipeline(
+        options: DriverOptions,
+        order: &[&str],
+    ) -> std::result::Result<Self, String> {
+        Ok(Driver {
+            manager: PassManager::with_pipeline(options, order)?,
+        })
+    }
+
+    /// Fallible counterpart of [`Driver::new`]: build the pipeline from
+    /// `options.pass_order` (falling back to
+    /// [`pipeline::DEFAULT_PASS_ORDER`]), reporting unknown pass names
+    /// instead of panicking.
+    pub fn try_new(options: DriverOptions) -> std::result::Result<Self, String> {
+        let order: Vec<String> = match &options.pass_order {
+            Some(o) => o.clone(),
+            None => DEFAULT_PASS_ORDER.iter().map(|s| s.to_string()).collect(),
+        };
+        let names: Vec<&str> = order.iter().map(String::as_str).collect();
+        Driver::with_pipeline(options, &names)
+    }
+
+    /// Names of the configured pipeline's passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.manager.pass_names()
+    }
+
     /// The configured options.
     pub fn options(&self) -> &DriverOptions {
         self.manager.options()

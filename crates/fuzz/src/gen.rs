@@ -1,0 +1,492 @@
+//! The seeded nest generator: random well-formed DSL programs covering
+//! the transformation pipeline's whole input space.
+//!
+//! Every program is generated from an [`Rng`] alone, so equal seeds
+//! produce byte-identical programs on every platform — the determinism
+//! the CI fuzz job asserts by running twice and diffing.
+//!
+//! The generator's contract with the oracle:
+//!
+//! * programs always pass [`Program::check`] (well-formed references);
+//! * `doall` bodies are **race-free by construction** — each nest owns a
+//!   write array indexed injectively by (a permutation of) its loop
+//!   variables, reads touch only read-only arrays or temporaries written
+//!   earlier in the same iteration, and scalar reductions only appear in
+//!   all-serial nests. A divergence between original and transformed can
+//!   therefore only be the compiler's fault;
+//! * [`Generated::interp_cost`] bounds the interpreter work so the
+//!   oracle can skip execution for "extreme" cases (near-overflow trip
+//!   products) that exist to stress `total_iterations` overflow handling
+//!   and must merely compile without panicking.
+//!
+//! The input space covered: rank 1..=6, constant and symbolic bounds,
+//! non-unit steps and shifted lower bounds (normalization fodder), zero-
+//! and one-trip levels, imperfect nests (statements between levels),
+//! serial/`doacross` levels mixed into `doall` nests, scalar reductions,
+//! and bodies assembled through [`ExprBuilder`] so constant folding and
+//! shared-division interning run over generated code too.
+
+use lc_ir::program::Program;
+use lc_ir::stmt::{Loop, LoopKind, Stmt};
+use lc_ir::{Expr, ExprBuilder, Symbol};
+
+use crate::rng::Rng;
+
+/// Generator knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Deepest nest to generate (1..=6).
+    pub max_rank: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_rank: 6 }
+    }
+}
+
+/// A generated program plus what the generator knows about it.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The program. Always passes [`Program::check`].
+    pub program: Program,
+    /// Total interpreter iterations across all nests, when small enough
+    /// to execute. `None` marks a compile-only case (huge or
+    /// near-overflow trip products).
+    pub interp_cost: Option<u64>,
+}
+
+/// Interpretation budget: cases whose summed trip product exceeds this
+/// are compile-only. Keeps a 1000-case run in seconds.
+pub const MAX_INTERP_COST: u64 = 4096;
+
+const VAR_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "p"];
+
+/// One loop level, with the numeric facts the generator fixed for it.
+struct Level {
+    var: Symbol,
+    kind: LoopKind,
+    lower: Expr,
+    upper: Expr,
+    step: i64,
+    /// Lowest value the variable takes (= constant lower bound).
+    lo: i64,
+    /// Iterations this level executes.
+    trip: u64,
+    /// Largest value the variable takes (lo when the level is empty).
+    max_val: i64,
+}
+
+/// Generate one program from `rng`.
+pub fn generate(rng: &mut Rng, cfg: &GenConfig) -> Generated {
+    let max_rank = cfg.max_rank.clamp(1, 6);
+    let mut prog = Program::new();
+    let mut cost: u64 = 0;
+    let mut extreme = false;
+
+    // A read-only array every body may read from (clamped in-bounds).
+    let r_dim: i64 = rng.range_i64(4, 8);
+    prog.arrays
+        .push(lc_ir::ArrayDecl::new("R", vec![r_dim as usize]));
+
+    // Case flavor: mostly ordinary nests, sometimes an all-serial
+    // reduction nest, rarely an extreme (compile-only) nest.
+    let flavor = rng.below(12);
+    if flavor == 0 {
+        extreme = true;
+        gen_extreme_nest(rng, &mut prog);
+    } else if flavor <= 2 {
+        gen_reduction_nest(rng, &mut prog, max_rank, &mut cost, r_dim);
+    } else {
+        gen_nest(rng, &mut prog, max_rank, &mut cost, r_dim, "W", 0);
+        // Sometimes a second, shallower nest writing its own array.
+        if rng.chance(1, 4) {
+            let rank_cap = max_rank.min(2);
+            gen_nest(rng, &mut prog, rank_cap, &mut cost, r_dim, "V", 1);
+        }
+    }
+
+    debug_assert!(
+        prog.check().is_ok(),
+        "generator emitted an ill-formed program"
+    );
+    Generated {
+        interp_cost: if extreme || cost > MAX_INTERP_COST {
+            None
+        } else {
+            Some(cost)
+        },
+        program: prog,
+    }
+}
+
+/// Pick the levels of a nest: kinds, bounds, steps.
+fn gen_levels(rng: &mut Rng, rank: usize, prog: &mut Program, bound_tag: usize) -> Vec<Level> {
+    let mut levels = Vec::with_capacity(rank);
+    for (d, var_name) in VAR_NAMES.iter().enumerate().take(rank) {
+        let kind = match rng.below(10) {
+            0 => LoopKind::Serial,
+            1 => LoopKind::Doacross {
+                delay: rng.below(3) as u32,
+            },
+            _ => LoopKind::Doall,
+        };
+        // Bounds: mostly normalized 1..=N; sometimes shifted lower bound
+        // or non-unit step (normalization fodder); sometimes a symbolic
+        // upper bound via a scalar assigned just above the nest.
+        let (lo, hi, step, lower, upper) = match rng.below(8) {
+            // Zero-trip and one-trip extremes.
+            0 => {
+                let lo = 1i64;
+                let hi = rng.range_i64(0, 1);
+                (lo, hi, 1, Expr::lit(lo), Expr::lit(hi))
+            }
+            // Shifted lower bound, unit step.
+            1 => {
+                let lo = rng.range_i64(-2, 3);
+                let hi = lo + rng.range_i64(0, 4);
+                (lo, hi, 1, Expr::lit(lo), Expr::lit(hi))
+            }
+            // Non-unit step.
+            2 => {
+                let lo = rng.range_i64(0, 2);
+                let step = rng.range_i64(2, 3);
+                let hi = lo + rng.range_i64(0, 3) * step + rng.range_i64(0, step - 1);
+                (lo, hi, step, Expr::lit(lo), Expr::lit(hi))
+            }
+            // Symbolic upper bound: `nX = c;` then `.. = 1..nX`.
+            3 => {
+                let val = rng.range_i64(0, 6);
+                let name = format!("n{bound_tag}{d}");
+                prog.body.push(Stmt::assign(name.as_str(), Expr::lit(val)));
+                (1, val, 1, Expr::lit(1), Expr::var(name.as_str()))
+            }
+            // Plain normalized constant bounds.
+            _ => {
+                let hi = rng.range_i64(1, 6);
+                (1, hi, 1, Expr::lit(1), Expr::lit(hi))
+            }
+        };
+        let trip = if hi >= lo {
+            ((hi - lo) / step) as u64 + 1
+        } else {
+            0
+        };
+        let max_val = if trip == 0 {
+            lo
+        } else {
+            lo + (trip as i64 - 1) * step
+        };
+        levels.push(Level {
+            var: Symbol::new(*var_name),
+            kind,
+            lower,
+            upper,
+            step,
+            lo,
+            trip,
+            max_val,
+        });
+    }
+    levels
+}
+
+/// Build one ordinary nest writing `write_array`, appending the nest
+/// (and any symbolic-bound assignments) to `prog`.
+fn gen_nest(
+    rng: &mut Rng,
+    prog: &mut Program,
+    max_rank: usize,
+    cost: &mut u64,
+    r_dim: i64,
+    write_array: &str,
+    bound_tag: usize,
+) {
+    let rank = 1 + rng.below(max_rank as u64) as usize;
+    let levels = gen_levels(rng, rank, prog, bound_tag);
+
+    // The write array: one dimension per level, sized to cover the
+    // level's whole (offset) iteration range; indexed by a permutation
+    // of the loop variables so interchange gets exercised too.
+    let mut perm: Vec<usize> = (0..rank).collect();
+    if rng.chance(1, 3) {
+        rng.shuffle(&mut perm);
+    }
+    let dims: Vec<usize> = perm
+        .iter()
+        .map(|&d| ((levels[d].max_val - levels[d].lo + 1).max(1)) as usize)
+        .collect();
+    prog.arrays.push(lc_ir::ArrayDecl::new(write_array, dims));
+    let indices: Vec<Expr> = perm
+        .iter()
+        .map(|&d| {
+            // Shift so the minimum value maps to subscript 1.
+            let off = 1 - levels[d].lo;
+            if off == 0 {
+                Expr::var(levels[d].var.clone())
+            } else {
+                Expr::var(levels[d].var.clone()) + Expr::lit(off)
+            }
+        })
+        .collect();
+
+    // Innermost body, via ExprBuilder so generated programs flow through
+    // constant folding and (sometimes) shared-division interning.
+    let mut b = ExprBuilder::new();
+    let in_scope: Vec<Symbol> = levels.iter().map(|l| l.var.clone()).collect();
+    let mut temps: Vec<Symbol> = Vec::new();
+
+    // Optional per-iteration temporary (safe: written before any read,
+    // within the same innermost iteration).
+    if rng.chance(1, 3) {
+        let t = Symbol::new("t0");
+        b.assign(t.clone(), gen_value_expr(rng, &in_scope, &temps, r_dim, 2));
+        temps.push(t);
+    }
+    let value = gen_value_expr(rng, &in_scope, &temps, r_dim, 3);
+    b.push(Stmt::store(write_array, indices, value));
+    if rng.chance(1, 4) {
+        b.intern_shared_divisions("cse");
+    }
+    let mut body = b.into_stmts();
+
+    // Wrap the body in the levels, innermost first; sometimes make the
+    // nest imperfect by dropping a temporary assignment between levels
+    // (reads only outer variables — race-free under any inner order).
+    let mut body_stmts: u64 = body.len() as u64;
+    for (d, level) in levels.iter().enumerate().rev() {
+        if d > 0 && rng.chance(1, 4) {
+            let outer_scope: Vec<Symbol> = levels[..d].iter().map(|l| l.var.clone()).collect();
+            let t = Symbol::new(format!("u{d}"));
+            let imperfect = Stmt::assign(t, gen_value_expr(rng, &outer_scope, &[], r_dim, 2));
+            body.insert(0, imperfect);
+            body_stmts += 1;
+        }
+        body = vec![Stmt::Loop(Loop {
+            var: level.var.clone(),
+            lower: level.lower.clone(),
+            upper: level.upper.clone(),
+            step: Expr::lit(level.step),
+            kind: level.kind,
+            body,
+        })];
+        body_stmts = body_stmts.saturating_mul(level.trip.max(1));
+    }
+    *cost = cost.saturating_add(body_stmts);
+    prog.body.extend(body);
+}
+
+/// An all-serial nest accumulating into a scalar — exercises the
+/// `ScalarReduction` / carried-dependence skip paths. Serial semantics
+/// make the accumulation order fixed, so the oracle's comparison stays
+/// sound.
+fn gen_reduction_nest(
+    rng: &mut Rng,
+    prog: &mut Program,
+    max_rank: usize,
+    cost: &mut u64,
+    r_dim: i64,
+) {
+    let rank = 1 + rng.below(max_rank.min(3) as u64) as usize;
+    let mut levels = gen_levels(rng, rank, prog, 2);
+    for l in &mut levels {
+        l.kind = LoopKind::Serial;
+    }
+    let dims: Vec<usize> = levels
+        .iter()
+        .map(|l| ((l.max_val - l.lo + 1).max(1)) as usize)
+        .collect();
+    prog.arrays.push(lc_ir::ArrayDecl::new("W", dims));
+    prog.body.push(Stmt::assign("s", Expr::lit(0)));
+
+    let in_scope: Vec<Symbol> = levels.iter().map(|l| l.var.clone()).collect();
+    let step_expr = gen_value_expr(rng, &in_scope, &[], r_dim, 2);
+    let indices: Vec<Expr> = levels
+        .iter()
+        .map(|l| {
+            let off = 1 - l.lo;
+            if off == 0 {
+                Expr::var(l.var.clone())
+            } else {
+                Expr::var(l.var.clone()) + Expr::lit(off)
+            }
+        })
+        .collect();
+    let mut body = vec![
+        Stmt::assign("s", Expr::var("s") + step_expr),
+        Stmt::store("W", indices, Expr::var("s")),
+    ];
+    let mut body_stmts: u64 = 2;
+    for level in levels.iter().rev() {
+        body = vec![Stmt::Loop(Loop {
+            var: level.var.clone(),
+            lower: level.lower.clone(),
+            upper: level.upper.clone(),
+            step: Expr::lit(level.step),
+            kind: level.kind,
+            body,
+        })];
+        body_stmts = body_stmts.saturating_mul(level.trip.max(1));
+    }
+    *cost = cost.saturating_add(body_stmts);
+    prog.body.extend(body);
+}
+
+/// A compile-only nest with a near-overflow (or overflowing) trip
+/// product: `total_iterations` and the emitted recovery constants live
+/// near `i64::MAX`. The compiler must either transform it or decline
+/// with a typed error — never panic. The oracle never interprets these.
+fn gen_extreme_nest(rng: &mut Rng, prog: &mut Program) {
+    let rank = 3;
+    // 2^20..2^21 per level; rank 3 puts the product in 2^60..2^63.
+    let mut dims = Vec::with_capacity(rank);
+    let mut body: Vec<Stmt> = Vec::new();
+    let mut bounds = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let hi = 1i64 << rng.range_i64(20, 21);
+        bounds.push(hi);
+        dims.push(hi as usize);
+    }
+    let indices: Vec<Expr> = VAR_NAMES.iter().take(rank).map(|v| Expr::var(*v)).collect();
+    prog.arrays.push(lc_ir::ArrayDecl::new("W", dims));
+    body.push(Stmt::store(
+        "W",
+        indices,
+        Expr::var("i") + Expr::var("j") * Expr::lit(3),
+    ));
+    for d in (0..rank).rev() {
+        body = vec![Stmt::Loop(Loop {
+            var: Symbol::new(VAR_NAMES[d]),
+            lower: Expr::lit(1),
+            upper: Expr::lit(bounds[d]),
+            step: Expr::lit(1),
+            kind: LoopKind::Doall,
+            body,
+        })];
+    }
+    prog.body.extend(body);
+}
+
+/// A random value expression over the in-scope variables, temporaries,
+/// and clamped reads of the read-only array `R`. `depth` bounds the
+/// tree; multiplication is restricted to small constant factors so
+/// interpreted values stay far from `i64` overflow.
+fn gen_value_expr(
+    rng: &mut Rng,
+    vars: &[Symbol],
+    temps: &[Symbol],
+    r_dim: i64,
+    depth: u32,
+) -> Expr {
+    if depth == 0 || rng.chance(1, 3) {
+        // Leaf.
+        return match rng.below(4) {
+            0 => Expr::lit(rng.range_i64(-9, 9)),
+            1 if !vars.is_empty() => Expr::var(rng.pick(vars).clone()),
+            2 if !temps.is_empty() => Expr::var(rng.pick(temps).clone()),
+            _ => {
+                // R[min(max(e, 1), r_dim)] — always in bounds.
+                let inner = if vars.is_empty() {
+                    Expr::lit(rng.range_i64(1, r_dim))
+                } else {
+                    Expr::var(rng.pick(vars).clone()) + Expr::lit(rng.range_i64(-2, 2))
+                };
+                Expr::read("R", vec![inner.max(Expr::lit(1)).min(Expr::lit(r_dim))])
+            }
+        };
+    }
+    let lhs = gen_value_expr(rng, vars, temps, r_dim, depth - 1);
+    match rng.below(7) {
+        0 => lhs + gen_value_expr(rng, vars, temps, r_dim, depth - 1),
+        1 => lhs - gen_value_expr(rng, vars, temps, r_dim, depth - 1),
+        // Multiplication only by a small constant: generated reads are
+        // in [-1000, 1000], so value magnitudes stay bounded by
+        // ~1000 * 4^depth — nowhere near i64.
+        2 => lhs * Expr::lit(rng.range_i64(-4, 4)),
+        3 => lhs.min(gen_value_expr(rng, vars, temps, r_dim, depth - 1)),
+        4 => lhs.max(gen_value_expr(rng, vars, temps, r_dim, depth - 1)),
+        5 => lhs.floor_div(Expr::lit(rng.range_i64(2, 4))),
+        _ => lhs.ceil_div(Expr::lit(rng.range_i64(2, 4))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::printer::print_program;
+
+    #[test]
+    fn same_seed_means_byte_identical_programs() {
+        for seed in 0..50u64 {
+            let a = generate(&mut Rng::new(seed), &GenConfig::default());
+            let b = generate(&mut Rng::new(seed), &GenConfig::default());
+            assert_eq!(
+                print_program(&a.program),
+                print_program(&b.program),
+                "seed {seed} diverged"
+            );
+            assert_eq!(a.interp_cost, b.interp_cost);
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_well_formed_and_parse_back() {
+        for seed in 0..200u64 {
+            let g = generate(&mut Rng::new(seed), &GenConfig::default());
+            g.program.check().unwrap();
+            let text = print_program(&g.program);
+            let reparsed = lc_ir::parser::parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(print_program(&reparsed), text);
+        }
+    }
+
+    #[test]
+    fn interpretable_cases_execute_within_budget() {
+        use lc_xform::validate::seeded_store;
+        let mut interpreted = 0;
+        for seed in 0..100u64 {
+            let g = generate(&mut Rng::new(seed), &GenConfig::default());
+            let Some(cost) = g.interp_cost else { continue };
+            assert!(cost <= MAX_INTERP_COST);
+            let store = seeded_store(&g.program, seed);
+            // Body expressions are overflow-safe by construction, and
+            // every subscript is in bounds: execution must succeed.
+            lc_ir::interp::Interp::new()
+                .run_on(&g.program, store)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", print_program(&g.program)));
+            interpreted += 1;
+        }
+        assert!(interpreted > 50, "most cases should be interpretable");
+    }
+
+    #[test]
+    fn rank_respects_the_config_cap() {
+        for seed in 0..50u64 {
+            let g = generate(&mut Rng::new(seed), &GenConfig { max_rank: 1 });
+            for stmt in &g.program.body {
+                if let Stmt::Loop(l) = stmt {
+                    // Reduction/extreme nests may exceed 1? No: reduction
+                    // caps at max_rank too; extreme is fixed rank 3 and
+                    // allowed — skip it (it has 2^20 bounds).
+                    if l.upper.as_const().is_some_and(|c| c >= 1 << 20) {
+                        continue;
+                    }
+                    assert!(depth_of(l) <= 1, "seed {seed} exceeded rank cap");
+                }
+            }
+        }
+    }
+
+    fn depth_of(l: &lc_ir::Loop) -> usize {
+        1 + l
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Loop(inner) => Some(depth_of(inner)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}

@@ -214,16 +214,19 @@ impl ExprBuilder {
             }
             // Most profitable candidate: highest (count-1) * cost; ties
             // broken toward smaller expressions so inner divisions hoist
-            // first.
-            let best = counts
-                .into_iter()
-                .filter(|(_, c)| *c >= 2)
-                .max_by_key(|(e, c)| {
-                    (
-                        (*c as u64 - 1) * e.op_cost(),
-                        std::cmp::Reverse(e.op_cost()),
-                    )
-                });
+            // first, then by printed form — `max_by_key` keeps the last
+            // maximum it sees, and iterating the HashMap directly would
+            // let the per-instance hash seed decide equal-profit ties,
+            // making temp numbering differ between identical compiles.
+            let mut candidates: Vec<(Expr, usize)> =
+                counts.into_iter().filter(|(_, c)| *c >= 2).collect();
+            candidates.sort_by_cached_key(|(e, _)| crate::printer::print_expr(e));
+            let best = candidates.into_iter().max_by_key(|(e, c)| {
+                (
+                    (*c as u64 - 1) * e.op_cost(),
+                    std::cmp::Reverse(e.op_cost()),
+                )
+            });
             let Some((pat, _)) = best else { break };
 
             let temp = Symbol::new(format!("{prefix}{hoisted}"));
@@ -410,6 +413,29 @@ mod tests {
                 }
                 defined.push(var.as_str());
             }
+        }
+    }
+
+    #[test]
+    fn interning_breaks_profit_ties_deterministically() {
+        // Two shared divisions with identical profit: which becomes t0
+        // must not depend on HashMap iteration order. Found by lc-fuzz
+        // (seed 0xc0a1e5ce): equal-profit ties used to be resolved by
+        // the per-HashMap hash seed, so identical compiles could number
+        // their temps differently.
+        let build = || {
+            let mut b = ExprBuilder::new();
+            let d2 = Expr::var("jc").ceil_div(Expr::lit(2));
+            let d4 = Expr::var("jc").ceil_div(Expr::lit(4));
+            b.assign("i", d4.clone());
+            b.assign("j", d2.clone() - Expr::lit(2) * (d4 - Expr::lit(1)));
+            b.assign("k", Expr::var("jc") - Expr::lit(2) * (d2 - Expr::lit(1)));
+            b.intern_shared_divisions("t");
+            format!("{:?}", b.stmts())
+        };
+        let first = build();
+        for _ in 0..32 {
+            assert_eq!(build(), first);
         }
     }
 

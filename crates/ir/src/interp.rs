@@ -114,6 +114,72 @@ impl Store {
     pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Array)> {
         self.arrays.iter()
     }
+
+    /// A 64-bit FNV-1a digest over every array's name, extents, and
+    /// contents, independent of internal map order. Two stores with
+    /// equal digests are byte-identical for all practical purposes, so
+    /// differential testers can compare whole final stores by one `u64`
+    /// instead of cloning and diffing them.
+    pub fn digest(&self) -> u64 {
+        let mut names: Vec<&Symbol> = self.arrays.keys().collect();
+        names.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for name in names {
+            let arr = &self.arrays[name];
+            mix(name.as_str().as_bytes());
+            mix(&[0xFF]); // separator: names cannot contain 0xFF
+            for d in &arr.dims {
+                mix(&(*d as u64).to_le_bytes());
+            }
+            for v in &arr.data {
+                mix(&v.to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// Deterministically sample up to `count` elements across all arrays
+    /// (a splitmix64 stream over `seed` picks them), returning
+    /// `(array, flat offset, value)` triples in a stable order.
+    ///
+    /// This is the sampled-evaluation entry point differential testers
+    /// use to report *witness points*: after [`Store::digest`] says two
+    /// final stores diverge, sampling both stores with the same seed
+    /// yields directly comparable element sets without materializing a
+    /// full diff.
+    pub fn sample(&self, seed: u64, count: usize) -> Vec<(Symbol, usize, i64)> {
+        let mut names: Vec<&Symbol> = self.arrays.keys().collect();
+        names.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        let nonempty: Vec<&Symbol> = names
+            .into_iter()
+            .filter(|n| !self.arrays[*n].data.is_empty())
+            .collect();
+        if nonempty.is_empty() {
+            return Vec::new();
+        }
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = nonempty[(next() % nonempty.len() as u64) as usize];
+            let arr = &self.arrays[name];
+            let flat = (next() % arr.data.len() as u64) as usize;
+            out.push((name.clone(), flat, arr.data[flat]));
+        }
+        out
+    }
 }
 
 /// Iteration order used for `doall` loops.
@@ -674,6 +740,42 @@ mod tests {
         let store = Interp::new().run(&p).unwrap();
         assert_eq!(store.get("A", &[2]).unwrap(), 1);
         assert_eq!(store.get("A", &[3]).unwrap(), 2);
+    }
+
+    #[test]
+    fn digest_is_order_free_and_content_sensitive() {
+        let p = fill_program();
+        let a = Interp::new().run(&p).unwrap();
+        let b = Interp::new()
+            .with_order(DoallOrder::Shuffled(7))
+            .run(&p)
+            .unwrap();
+        assert_eq!(a.digest(), b.digest(), "same contents, same digest");
+        let mut c = Interp::new().run(&p).unwrap();
+        c.set("A", &[1, 1], 999).unwrap();
+        assert_ne!(a.digest(), c.digest(), "one element flips the digest");
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_in_bounds() {
+        let store = Interp::new().run(&fill_program()).unwrap();
+        let s1 = store.sample(42, 16);
+        let s2 = store.sample(42, 16);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 16);
+        for (name, flat, value) in &s1 {
+            assert_eq!(name.as_str(), "A");
+            assert!(*flat < 32);
+            assert_eq!(store.data("A").unwrap()[*flat], *value);
+        }
+        assert_ne!(store.sample(43, 16), s1, "seed changes the sample");
+    }
+
+    #[test]
+    fn sample_of_empty_store_is_empty() {
+        let p = Program::new().with_array("Z", vec![0]);
+        let store = Store::for_program(&p);
+        assert!(store.sample(1, 8).is_empty());
     }
 
     #[test]

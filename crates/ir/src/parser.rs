@@ -30,10 +30,23 @@ use crate::program::{ArrayDecl, Program};
 use crate::stmt::{Loop, LoopKind, Stmt};
 use crate::symbol::Symbol;
 
+/// Maximum syntactic nesting (blocks, parentheses, subscripts) the
+/// parser accepts. The parser is recursive-descent, so unbounded nesting
+/// in adversarial input would otherwise exhaust the thread stack — and a
+/// stack overflow aborts the whole process, which a serving deployment
+/// cannot tolerate. Beyond this depth the parser reports an ordinary
+/// [`Error::Parse`]. Real programs nest a handful of levels; 200 is far
+/// above anything legitimate and far below stack exhaustion.
+pub const MAX_NEST_DEPTH: usize = 200;
+
 /// Parse a complete program (declarations + statements).
 pub fn parse_program(src: &str) -> Result<Program> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut prog = Program::new();
     while !p.at_end() {
         if p.peek_is_kw("array") {
@@ -49,7 +62,11 @@ pub fn parse_program(src: &str) -> Result<Program> {
 /// Parse a single expression (handy in tests).
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     if !p.at_end() {
         return Err(p.err("trailing input after expression"));
@@ -164,11 +181,27 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>> {
 struct Parser {
     tokens: Vec<SpannedTok>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
     fn at_end(&self) -> bool {
         self.pos >= self.tokens.len()
+    }
+
+    /// Bump the nesting depth around a recursive production, rejecting
+    /// input nested beyond [`MAX_NEST_DEPTH`].
+    fn nested<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.depth += 1;
+        let r = if self.depth > MAX_NEST_DEPTH {
+            Err(self.err(format!(
+                "nesting deeper than {MAX_NEST_DEPTH} levels is not supported"
+            )))
+        } else {
+            f(self)
+        };
+        self.depth -= 1;
+        r
     }
 
     fn line(&self) -> usize {
@@ -263,13 +296,15 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
-        if self.peek_is_kw("for") || self.peek_is_kw("doall") || self.peek_is_kw("doacross") {
-            return self.loop_stmt();
-        }
-        if self.peek_is_kw("if") {
-            return self.if_stmt();
-        }
-        self.assign_stmt()
+        self.nested(|p| {
+            if p.peek_is_kw("for") || p.peek_is_kw("doall") || p.peek_is_kw("doacross") {
+                return p.loop_stmt();
+            }
+            if p.peek_is_kw("if") {
+                return p.if_stmt();
+            }
+            p.assign_stmt()
+        })
     }
 
     fn loop_stmt(&mut self) -> Result<Stmt> {
@@ -388,6 +423,10 @@ impl Parser {
     }
 
     fn factor(&mut self) -> Result<Expr> {
+        self.nested(Self::factor_inner)
+    }
+
+    fn factor_inner(&mut self) -> Result<Expr> {
         if self.peek_is_punct("-") {
             let _ = self.bump();
             let inner = self.factor()?;
@@ -463,6 +502,10 @@ impl Parser {
     }
 
     fn cond_atom(&mut self) -> Result<Cond> {
+        self.nested(Self::cond_atom_inner)
+    }
+
+    fn cond_atom_inner(&mut self) -> Result<Cond> {
         if self.peek_is_punct("!") {
             let _ = self.bump();
             let inner = self.cond_atom()?;
@@ -666,5 +709,36 @@ mod tests {
     #[test]
     fn negative_literals_via_unary_minus() {
         assert_eq!(parse_expr("-5 + 2").unwrap().fold(), Expr::Const(-3));
+    }
+
+    #[test]
+    fn deeply_nested_parens_are_rejected_not_overflowed() {
+        let depth = 50_000;
+        let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        assert!(err.to_string().contains("nesting"));
+    }
+
+    #[test]
+    fn deeply_nested_blocks_are_rejected_not_overflowed() {
+        let depth = 50_000;
+        let mut src = String::from("array A[1];\n");
+        for _ in 0..depth {
+            src.push_str("if 1 == 1 { ");
+        }
+        src.push_str("A[1] = 0;");
+        for _ in 0..depth {
+            src.push_str(" }");
+        }
+        let err = parse_program(&src).unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+    }
+
+    #[test]
+    fn nesting_at_modest_depth_still_parses() {
+        let depth = 40;
+        let src = format!("{}7{}", "(".repeat(depth), ")".repeat(depth));
+        assert_eq!(parse_expr(&src).unwrap().fold(), Expr::Const(7));
     }
 }

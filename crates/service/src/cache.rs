@@ -19,6 +19,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::sync::lock_recovering;
+
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -95,9 +97,12 @@ impl<V> ShardedLru<V> {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
+    /// Look up `key`, refreshing its recency on a hit. Poisoned shards
+    /// are recovered: no critical section below leaves a shard
+    /// structurally broken mid-update, so a panicked worker must not
+    /// disable the cache for everyone else.
     pub fn get(&self, key: u64) -> Option<Arc<V>> {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = lock_recovering(self.shard(key));
         shard.clock += 1;
         let now = shard.clock;
         match shard.map.get_mut(&key) {
@@ -119,7 +124,7 @@ impl<V> ShardedLru<V> {
     /// Insert (or refresh) `key`, evicting the shard's least-recently
     /// used entry when the shard is at capacity.
     pub fn insert(&self, key: u64, value: V) {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = lock_recovering(self.shard(key));
         shard.clock += 1;
         let tick = shard.clock;
         let is_new = !shard.map.contains_key(&key);
@@ -211,6 +216,23 @@ mod tests {
             .filter(|s| !s.lock().unwrap().map.is_empty())
             .count();
         assert!(populated >= 4, "FNV keys should hit most shards");
+    }
+
+    #[test]
+    fn survives_a_panicked_lock_holder() {
+        use std::sync::Arc;
+        let cache: Arc<ShardedLru<u32>> = Arc::new(ShardedLru::new(8, 1));
+        cache.insert(1, 11);
+        let c2 = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.shards[0].lock().unwrap();
+            panic!("worker died holding the shard");
+        })
+        .join();
+        // The shard mutex is now poisoned; the cache must keep working.
+        assert_eq!(cache.get(1).as_deref(), Some(&11));
+        cache.insert(2, 22);
+        assert_eq!(cache.get(2).as_deref(), Some(&22));
     }
 
     #[test]

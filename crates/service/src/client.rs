@@ -63,6 +63,54 @@ pub fn request(
     read_response(&mut BufReader::new(stream)).map_err(ClientError::Exchange)
 }
 
+/// What came back from a [`send_raw`] exchange.
+#[derive(Debug)]
+pub enum RawOutcome {
+    /// The server answered with a parseable HTTP response.
+    Response(Response),
+    /// The server closed the connection (or answered garbage) without a
+    /// parseable response. For malformed input this is an acceptable
+    /// server behavior; a transport-level hang is not (the read timeout
+    /// turns a hang into `ReadError::Io`, reported here too).
+    NoResponse(ReadError),
+}
+
+/// Write arbitrary bytes to the server and try to read back one HTTP
+/// response. This is the fuzzing hook: unlike [`request`] it adds no
+/// framing — truncated heads, lying `Content-Length`s, and invalid
+/// UTF-8 go over the wire exactly as given, which is the point.
+/// `shutdown_write` controls whether the write half is closed after
+/// sending (a truncated-body fuzz case wants the server to see EOF
+/// mid-message rather than waiting out its read timeout).
+pub fn send_raw(
+    addr: SocketAddr,
+    bytes: &[u8],
+    shutdown_write: bool,
+    timeout: Duration,
+) -> Result<RawOutcome, ClientError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(ClientError::Connect)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+
+    // A server already answering (and closing) mid-write makes write_all
+    // fail with a broken pipe; that's a response-shaped outcome, not a
+    // client error, so fall through to the read in that case.
+    let write_result = stream.write_all(bytes).and_then(|()| stream.flush());
+    if shutdown_write {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    match read_response(&mut BufReader::new(stream)) {
+        Ok(resp) => Ok(RawOutcome::Response(resp)),
+        Err(e) => {
+            if let Err(we) = write_result {
+                return Ok(RawOutcome::NoResponse(ReadError::Io(we)));
+            }
+            Ok(RawOutcome::NoResponse(e))
+        }
+    }
+}
+
 /// `GET target`.
 pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> Result<Response, ClientError> {
     request(addr, "GET", target, &[], &[], timeout)

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use lc_driver::json::Json;
 
 use crate::client;
+use crate::sync::lock_recovering;
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -98,6 +99,31 @@ impl LoadgenReport {
     }
 }
 
+/// The bench-regression gate: fail when the measured p95 latency
+/// exceeds the committed baseline's by more than `max_regress_pct`
+/// percent. The budget is computed in 128-bit math so no baseline can
+/// overflow it, and a zero baseline — an empty or failed baseline run —
+/// gates nothing rather than everything.
+///
+/// Returns `Err` with a human-readable verdict for the CI log.
+pub fn check_p95_regression(
+    current_p95: u64,
+    baseline_p95: u64,
+    max_regress_pct: u64,
+) -> Result<(), String> {
+    if baseline_p95 == 0 {
+        return Ok(());
+    }
+    let allowed = u128::from(baseline_p95) * u128::from(100 + max_regress_pct) / 100;
+    if u128::from(current_p95) > allowed {
+        return Err(format!(
+            "p95 latency regressed: {current_p95} us vs baseline {baseline_p95} us \
+             (budget {allowed} us = baseline + {max_regress_pct}%)"
+        ));
+    }
+    Ok(())
+}
+
 /// Exact quantile over a sorted sample (nearest-rank). Returns 0 for an
 /// empty sample.
 pub fn percentile(sorted: &[u64], q: u64) -> u64 {
@@ -163,7 +189,7 @@ pub fn run(addr: SocketAddr, corpus: &[String], config: &LoadgenConfig) -> Loadg
                         Err(_) => local.other += 1,
                     }
                 }
-                let mut m = merged.lock().unwrap();
+                let mut m = lock_recovering(&merged);
                 m.latencies.extend_from_slice(&local.latencies);
                 m.ok_200 += local.ok_200;
                 m.shed_429 += local.shed_429;
@@ -174,7 +200,9 @@ pub fn run(addr: SocketAddr, corpus: &[String], config: &LoadgenConfig) -> Loadg
     });
     let elapsed_micros = (started.elapsed().as_micros() as u64).max(1);
 
-    let mut tally = merged.into_inner().unwrap();
+    // Poison recovery: a panicked client thread must not lose the whole
+    // run's tallies.
+    let mut tally = merged.into_inner().unwrap_or_else(|e| e.into_inner());
     tally.latencies.sort_unstable();
     let requests = tally.latencies.len() as u64;
     LoadgenReport {
@@ -208,6 +236,20 @@ mod tests {
         assert_eq!(percentile(&sample, 100), 100);
         assert_eq!(percentile(&[42], 50), 42);
         assert_eq!(percentile(&[], 99), 0);
+    }
+
+    #[test]
+    fn regression_gate_allows_the_budget_and_rejects_beyond_it() {
+        // 25% over a 1000us baseline: 1250 is within budget, 1251 not.
+        assert!(check_p95_regression(1250, 1000, 25).is_ok());
+        assert!(check_p95_regression(1251, 1000, 25).is_err());
+        // Improvements always pass.
+        assert!(check_p95_regression(1, 1000, 25).is_ok());
+        // A zero baseline (empty run) gates nothing.
+        assert!(check_p95_regression(u64::MAX, 0, 25).is_ok());
+        // Huge baselines must not overflow the budget computation: a
+        // current p95 equal to a near-max baseline is not a regression.
+        assert!(check_p95_regression(u64::MAX, u64::MAX, 25).is_ok());
     }
 
     #[test]

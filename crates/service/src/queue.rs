@@ -11,6 +11,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use crate::sync::{lock_recovering, wait_recovering};
+
 /// Why a `try_push` was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
@@ -45,9 +47,12 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueue without blocking; refuse when full or closed.
+    /// Enqueue without blocking; refuse when full or closed. The inner
+    /// mutex recovers from poisoning: the queue is structurally
+    /// consistent between statements, so a panicked worker must not turn
+    /// every later push into a panic.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recovering(&self.inner);
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -63,7 +68,7 @@ impl<T> BoundedQueue<T> {
     /// Block until a job is available or the queue is closed *and*
     /// drained. `None` means "no more work, ever" — the worker exits.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recovering(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -71,14 +76,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = wait_recovering(&self.not_empty, inner);
         }
     }
 
     /// Close the queue: pending jobs still drain, new pushes fail, and
     /// blocked workers wake to observe closure.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recovering(&self.inner);
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -86,7 +91,7 @@ impl<T> BoundedQueue<T> {
 
     /// Jobs currently waiting (diagnostic; racy by nature).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock_recovering(&self.inner).items.len()
     }
 
     /// Whether no jobs are waiting.
@@ -137,6 +142,25 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), None);
         }
+    }
+
+    #[test]
+    fn keeps_serving_after_a_panicked_lock_holder() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.inner.lock().unwrap();
+            panic!("holder died");
+        })
+        .join();
+        // Poisoned mutex; pushes and pops must still work.
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.len(), 0);
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

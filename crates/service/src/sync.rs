@@ -1,0 +1,49 @@
+//! Poison-recovering lock helpers.
+//!
+//! `Mutex::lock().unwrap()` turns one panicked thread into a cascade:
+//! the mutex is poisoned, every later `lock()` returns `Err`, and the
+//! `unwrap` re-panics — so a single panicking compile worker would wedge
+//! the shared cache and queue and turn every subsequent request into a
+//! 500. None of the service's critical sections leave their data in a
+//! broken state on panic (counters are atomics; the cache map and queue
+//! are structurally consistent between statements), so the right policy
+//! is to *recover*: take the guard out of the [`std::sync::PoisonError`]
+//! and keep
+//! serving. The fuzzer's service mode leans on this — a malformed
+//! request must never take the server down with it.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wait on `cv`, recovering the guard if the mutex was poisoned while
+/// waiting.
+pub fn wait_recovering<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        // A plain `.lock().unwrap()` would panic here; recovery hands
+        // back the guard with the data intact.
+        assert_eq!(*lock_recovering(&m), 7);
+        *lock_recovering(&m) = 8;
+        assert_eq!(*lock_recovering(&m), 8);
+    }
+}

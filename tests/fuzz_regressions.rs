@@ -1,0 +1,126 @@
+//! Shrinker-minimized regressions from local `lc-fuzz` runs, plus the
+//! meta-properties the fuzzer itself relies on.
+//!
+//! Each `fuzz_regression_*` test was emitted by the shrinker
+//! (`lc-fuzz` writes a ready-to-paste snippet into `findings/` next to
+//! the human-readable report) after a local sweep, then kept here
+//! forever so the bug stays fixed. To reproduce a CI finding locally:
+//!
+//! ```text
+//! cargo run --release -p lc-fuzz -- --seed <seed from the CI log> \
+//!     --cases <failing case + 1> --out findings/
+//! ```
+
+use lc_fuzz::gen::{self, GenConfig};
+use lc_fuzz::oracle::run_case;
+use lc_fuzz::rng::Rng;
+use lc_fuzz::shrink::shrink_with;
+use lc_ir::parser::parse_program;
+use lc_ir::printer::print_program;
+
+/// Found by `lc-fuzz --seed 0xC0A1E5CE` (case 37) during the first
+/// 100k-case local sweep: with strength reduction on, two identical
+/// compiles could emit differently-numbered `rc_*` temporaries because
+/// `intern_shared_divisions` resolved equal-profit ties by HashMap
+/// iteration order. Minimized by the shrinker from a rank-3 nest; the
+/// two `ceildiv` recovery terms of the empty coalesced band tie exactly.
+#[test]
+fn fuzz_regression_seed_c0a1e5ce_case_37() {
+    let src = r#"
+array R[7];
+array W[3][2][3];
+doall i = 1..1 {
+    doall j = 2..3 {
+        doall k = (-1)..0 {
+        }
+    }
+}
+"#;
+    let coalesce = lc_xform::coalesce::CoalesceOptions::builder()
+        .scheme(lc_xform::recovery::RecoveryScheme::Ceiling)
+        .check_legality(true)
+        .levels_opt(None)
+        .auto_normalize(true)
+        .strength_reduce(true)
+        .build();
+    let options = lc_driver::DriverOptions {
+        coalesce,
+        enable_perfection: false,
+        enable_interchange: true,
+        validate: false,
+        advise: None,
+        pass_order: None,
+        validate_each_pass: false,
+    };
+    let divergence = lc_fuzz::oracle::check_source(
+        src,
+        &["coalesce", "normalize", "perfect", "interchange"],
+        &options,
+        0xdfe42d8be2cd69a8,
+        true,
+    );
+    assert!(divergence.is_none(), "{divergence:?}");
+}
+
+/// The CI seed must stay clean: the exact configuration the push-gate
+/// fuzz job runs, compressed to a smoke-sized prefix.
+#[test]
+fn ci_seed_prefix_is_clean() {
+    let root = Rng::new(0xC0A1E5CE);
+    let cfg = GenConfig::default();
+    for case in 0..50 {
+        let outcome = run_case(&root, case, &cfg);
+        assert!(
+            outcome.result.divergence.is_none(),
+            "case {case} diverged: {:?}\n{}",
+            outcome.result.divergence,
+            outcome.source
+        );
+    }
+}
+
+/// Generator determinism is what makes every CI failure reproducible
+/// from just the logged seed — same seed, same byte-identical programs.
+#[test]
+fn generator_is_deterministic_across_runs() {
+    let cfg = GenConfig::default();
+    for seed in [0u64, 0xC0A1E5CE, u64::MAX] {
+        let a = gen::generate(&mut Rng::new(seed), &cfg);
+        let b = gen::generate(&mut Rng::new(seed), &cfg);
+        assert_eq!(
+            print_program(&a.program),
+            print_program(&b.program),
+            "seed {seed:#x}"
+        );
+        assert_eq!(a.interp_cost, b.interp_cost);
+    }
+}
+
+/// The shrinker must converge (bounded steps) and actually shrink: a
+/// predicate needing only one deep write leaves nothing else behind.
+#[test]
+fn shrinker_converges_and_minimizes() {
+    let p = parse_program(
+        "
+        array W[6][6];
+        array R[4];
+        extra = 5;
+        doall i = 1..6 {
+            doall j = 1..6 {
+                W[i][j] = R[2] + extra;
+                W[i][j] = 1;
+            }
+        }
+        ",
+    )
+    .unwrap();
+    let writes_w = |p: &lc_ir::program::Program| print_program(p).contains("W[");
+    let (small, steps) = shrink_with(&p, writes_w);
+    assert!(steps > 0, "nothing was shrunk");
+    assert!(steps < lc_fuzz::shrink::MAX_SHRINK_STEPS);
+    let text = print_program(&small);
+    assert!(writes_w(&small));
+    // Loops and the unrelated scalar are gone; a bare W write remains.
+    assert!(!text.contains("doall"), "{text}");
+    assert!(!text.contains("extra"), "{text}");
+}
