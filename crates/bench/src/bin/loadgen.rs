@@ -4,7 +4,7 @@
 //! ```text
 //! lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N]
 //!            [--workers N] [--out PATH] [--best-of N]
-//!            [--baseline PATH] [--max-regress PCT]
+//!            [--baseline PATH] [--max-regress PCT] [--analyze]
 //! ```
 //!
 //! Without `--addr` the generator starts an in-process server (with
@@ -36,13 +36,13 @@ use std::process::ExitCode;
 
 use lc_driver::json::Json;
 use lc_service::corpus::corpus72;
-use lc_service::loadgen::{check_p95_regression, run, LoadgenConfig};
+use lc_service::loadgen::{check_p95_regression, run, LoadTarget, LoadgenConfig};
 use lc_service::{Server, ServiceConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lc-loadgen [--addr HOST:PORT] [--concurrency N] [--rounds N] [--workers N] \
-         [--out PATH] [--best-of N] [--baseline PATH] [--max-regress PCT]"
+         [--out PATH] [--best-of N] [--baseline PATH] [--max-regress PCT] [--analyze]"
     );
     ExitCode::FAILURE
 }
@@ -72,6 +72,12 @@ fn main() -> ExitCode {
         let flag = args[i].as_str();
         if flag == "--help" || flag == "-h" {
             return usage();
+        }
+        // Value-less flags first; everything below consumes flag + value.
+        if flag == "--analyze" {
+            config.target = LoadTarget::Analyze;
+            i += 1;
+            continue;
         }
         let Some(value) = args.get(i + 1) else {
             eprintln!("lc-loadgen: {flag} needs a value");
@@ -140,10 +146,11 @@ fn main() -> ExitCode {
 
     let corpus = corpus72();
     eprintln!(
-        "lc-loadgen: {} programs x {} rounds at concurrency {} against {addr}",
+        "lc-loadgen: {} programs x {} rounds at concurrency {} against {addr}{}",
         corpus.len(),
         config.rounds,
-        config.concurrency
+        config.concurrency,
+        config.target.path()
     );
     let mut report = run(addr, &corpus, &config);
     for attempt in 1..best_of {

@@ -15,11 +15,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use lc_ir::{Error, Result};
-use parking_lot::Mutex;
 
+use crate::sync::{into_inner_recovering, lock_recovering};
 use crate::{Driver, DriverOutput};
 
 /// One slot of a batch compilation: the item's outcome plus how long it
@@ -83,22 +84,33 @@ pub fn compile_batch<S: AsRef<str> + Sync>(driver: &Driver, sources: &[S]) -> Ve
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<BatchItem>>> = sources.iter().map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    // `compile_one` already converts panics into per-item errors, so a
+    // worker can only die between items; tolerate that instead of
+    // propagating it — every slot a dead worker never reached is
+    // reported below, and the poison-recovering accessors keep the
+    // surviving slots readable.
+    let _ = crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= sources.len() {
                     break;
                 }
-                *slots[i].lock() = Some(compile_one(driver, sources[i].as_ref()));
+                *lock_recovering(&slots[i]) = Some(compile_one(driver, sources[i].as_ref()));
             });
         }
-    })
-    .expect("batch worker panicked outside compile_one");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("self-scheduler filled every slot"))
+        .map(|slot| {
+            into_inner_recovering(slot).unwrap_or_else(|| BatchItem {
+                result: Err(Error::unsupported(
+                    "batch worker died before compiling this item".to_string(),
+                )),
+                nanos: 1,
+            })
+        })
         .collect()
 }
 

@@ -7,10 +7,11 @@
 //! observable output was the final program. This crate replaces that
 //! wiring with a proper driver:
 //!
-//! * [`PassManager`] — runs the standard pipeline (normalize →
+//! * [`PassManager`] — runs the standard pipeline (analyze → normalize →
 //!   perfection → interchange → advise → coalesce → strength-reduce)
 //!   over every top-level nest, then validates the rewrite against the
-//!   interpreter.
+//!   interpreter. The `analyze` stage runs the `lc-lint` checks and can
+//!   veto a nest (`deny` severity → [`SkipReason::LintDenied`]).
 //! * [`cache::NestAnalyses`] — memoizes nest extraction, normalization,
 //!   and dependence analysis per nest, with hit/miss counters
 //!   ([`cache::CacheStats`]); each analysis runs **at most once per
@@ -52,6 +53,7 @@ pub mod cache;
 pub mod json;
 pub mod pass;
 pub mod pipeline;
+pub mod sync;
 pub mod trace;
 
 use std::fmt;
@@ -59,6 +61,7 @@ use std::fmt;
 use lc_ir::parser::parse_program;
 use lc_ir::program::Program;
 use lc_ir::{Result, SkipReason};
+use lc_lint::{Finding, LintSet};
 use lc_sched::advise::AdviseParams;
 use lc_xform::coalesce::{CoalesceInfo, CoalesceOptions};
 
@@ -142,6 +145,13 @@ pub struct DriverOptions {
     /// `validate:{pass}` event; a divergence aborts the compilation.
     /// Expensive — a debugging aid for pass development, off by default.
     pub validate_each_pass: bool,
+    /// Per-lint severities for the `analyze` stage. The default is
+    /// every lint at `warn`: findings are collected into
+    /// [`DriverOutput::lints`] and traced, but never block the
+    /// pipeline. A lint at `deny` turns its first finding on a nest
+    /// into a [`SkipReason::LintDenied`] skip — the nest is left
+    /// untransformed. [`LintSet::all_allow`] disables the stage.
+    pub lints: LintSet,
 }
 
 impl Default for DriverOptions {
@@ -154,6 +164,7 @@ impl Default for DriverOptions {
             advise: None,
             pass_order: None,
             validate_each_pass: false,
+            lints: LintSet::default(),
         }
     }
 }
@@ -186,6 +197,9 @@ impl DriverOptions {
             advise: None,
             pass_order: None,
             validate_each_pass: false,
+            // The seed pipeline predates the analyzer; keep its
+            // behaviour (and pass roster) byte-identical.
+            lints: LintSet::all_allow(),
         }
     }
 }
@@ -203,6 +217,9 @@ pub struct DriverOutput {
     pub coalesced: Vec<CoalesceInfo>,
     /// Nests left untouched, with typed diagnostics.
     pub skipped: Vec<Skip>,
+    /// Findings the `analyze` stage reported, in nest order. Empty when
+    /// the stage is not in the pipeline or every lint is at `allow`.
+    pub lints: Vec<Finding>,
     /// The timed record of every pass invocation plus cache counters.
     pub trace: PipelineTrace,
 }

@@ -6,25 +6,32 @@
 //! the [`crate::PassManager`] timestamps into the
 //! [`crate::trace::PipelineTrace`].
 //!
-//! The standard pipeline order follows the paper's presentation:
+//! The standard pipeline order follows the paper's presentation, with
+//! the static analyzer in front:
 //!
-//! 1. [`NormalizePass`] — put headers in `1..=N step 1` form (cached);
-//! 2. [`PerfectionPass`] — sink prologue/epilogue statements to perfect
+//! 1. [`AnalyzePass`] — run the `lc-lint` checks (race, overflow,
+//!    non-affine, dead-induction, reduction) and veto the nest when a
+//!    `deny`-severity lint fires;
+//! 2. [`NormalizePass`] — put headers in `1..=N step 1` form (cached);
+//! 3. [`PerfectionPass`] — sink prologue/epilogue statements to perfect
 //!    the nest (guarded statement distribution);
-//! 3. [`InterchangePass`] — move a serial outermost level inward when
+//! 4. [`InterchangePass`] — move a serial outermost level inward when
 //!    the level below it is parallel, so DOALL levels sit outermost;
-//! 4. [`AdvisePass`] — pick the best legal collapse band analytically;
-//! 5. [`CoalescePass`] — the transformation itself, with the symbolic
+//! 5. [`AdvisePass`] — pick the best legal collapse band analytically;
+//! 6. [`CoalescePass`] — the transformation itself, with the symbolic
 //!    fallback for runtime trip counts;
-//! 6. [`StrengthReducePass`] — report the recovery-CSE savings.
+//! 7. [`StrengthReducePass`] — report the recovery-CSE savings.
 //!
-//! Passes 2–4 are *enabling* passes: their failures are recorded as
+//! Passes 3–5 are *enabling* passes: their failures are recorded as
 //! skips, never escalated — a nest that cannot be perfected may still
 //! coalesce as-is.
+
+use std::time::Instant;
 
 use lc_ir::analysis::nest::Nest;
 use lc_ir::stmt::Stmt;
 use lc_ir::{Error, Result, SkipReason};
+use lc_lint::{ConstEnv, Finding, LintCode, NestLinter, Severity};
 use lc_xform::coalesce::{coalesce_band, CoalesceInfo, CoalesceResult};
 use lc_xform::interchange::interchange;
 use lc_xform::normalize::require_normalized;
@@ -47,6 +54,16 @@ pub enum PassOutcome {
     Skipped(SkipReason),
     /// Nothing to do.
     Noop,
+    /// The `analyze` stage ran its lints. The manager folds the
+    /// findings into [`crate::DriverOutput::lints`] and emits one
+    /// `lint:LCxxx` trace event per timing entry.
+    Analyzed {
+        /// Every finding the enabled lints produced on this nest.
+        findings: Vec<Finding>,
+        /// Wall time per lint that ran, in pipeline order (nanoseconds,
+        /// always ≥ 1).
+        per_lint: Vec<(LintCode, u64)>,
+    },
 }
 
 /// Context handed to every pass: the options and this nest's memoized
@@ -81,16 +98,29 @@ pub struct NestState {
     /// Band chosen by [`AdvisePass`], overriding the configured band.
     pub band_override: Option<(usize, usize)>,
     /// Set once [`CoalescePass`] decides; later passes become no-ops.
+    /// [`AnalyzePass`] also sets it when a `deny`-severity lint fires.
     pub decision: Option<Decision>,
+    /// Constant-propagation environment from the straight-line scalar
+    /// assignments preceding this nest, consumed by [`AnalyzePass`]
+    /// (LC002's bounded-symbolic trip counts).
+    pub env: ConstEnv,
 }
 
 impl NestState {
-    /// Fresh state for the nest at body position `index`.
+    /// Fresh state for the nest at body position `index`, with no known
+    /// scalar constants.
     pub fn new(index: usize) -> Self {
+        NestState::with_env(index, ConstEnv::new())
+    }
+
+    /// Fresh state with the constant environment the statements before
+    /// the nest established.
+    pub fn with_env(index: usize, env: ConstEnv) -> Self {
         NestState {
             index,
             band_override: None,
             decision: None,
+            env,
         }
     }
 }
@@ -108,6 +138,58 @@ pub trait Pass: Send + Sync {
     /// eligible for the manager's per-pass validation hook.
     fn structural(&self) -> bool {
         false
+    }
+}
+
+/// Pass 0: static analysis (`lc-lint`).
+///
+/// Runs every lint enabled in [`DriverOptions::lints`] over the nest
+/// (including sub-nests below imperfect levels), timing each lint
+/// individually. Findings never abort the compilation; a lint
+/// configured at `deny` severity instead *vetoes the nest* — the pass
+/// records a [`Decision::Skipped`] with
+/// [`SkipReason::LintDenied`], so every later pass no-ops and the nest
+/// is emitted untransformed. This is the conservative reading of a
+/// denied lint: refusing to transform is always safe, transforming a
+/// racy nest is not.
+pub struct AnalyzePass;
+
+impl Pass for AnalyzePass {
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn run(&self, state: &mut NestState, cx: &mut PassCx<'_>) -> Result<PassOutcome> {
+        if state.decision.is_some() {
+            return Ok(PassOutcome::Noop);
+        }
+        let set = &cx.options.lints;
+        if set.all_allowed() {
+            return Ok(PassOutcome::Noop);
+        }
+        let mut linter = NestLinter::new(cx.cache.current(), state.index, &state.env);
+        let mut findings = Vec::new();
+        let mut per_lint = Vec::new();
+        for code in LintCode::ALL {
+            let sev = set.level(code);
+            if sev == Severity::Allow {
+                continue;
+            }
+            let start = Instant::now();
+            findings.extend(linter.run(code, sev));
+            per_lint.push((code, start.elapsed().as_nanos().max(1) as u64));
+        }
+        if let Some(deny) = findings.iter().find(|f| f.severity == Severity::Deny) {
+            state.decision = Some(Decision::Skipped(Skip {
+                nest: state.index,
+                reason: SkipReason::LintDenied {
+                    code: deny.code.code().to_string(),
+                    message: deny.message.clone(),
+                },
+                fallback: None,
+            }));
+        }
+        Ok(PassOutcome::Analyzed { findings, per_lint })
     }
 }
 

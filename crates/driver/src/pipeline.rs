@@ -17,8 +17,8 @@ use lc_xform::validate::check_equivalent;
 
 use crate::cache::NestAnalyses;
 use crate::pass::{
-    AdvisePass, CoalescePass, Decision, InterchangePass, NestState, NormalizePass, Pass, PassCx,
-    PerfectionPass, StrengthReducePass,
+    AdvisePass, AnalyzePass, CoalescePass, Decision, InterchangePass, NestState, NormalizePass,
+    Pass, PassCx, PerfectionPass, StrengthReducePass,
 };
 use crate::trace::{PipelineTrace, TraceEvent, TraceOutcome};
 use crate::{DriverOptions, DriverOutput};
@@ -28,11 +28,13 @@ use crate::{DriverOptions, DriverOutput};
 /// deterministic and comparable.
 pub const VALIDATE_SEED: u64 = 0xC0A1E5CE;
 
-/// The standard pipeline order: normalize → perfect → interchange →
-/// advise → coalesce → strength-reduce, following the paper's
-/// presentation. Which passes *act* is governed by [`DriverOptions`];
-/// every pass is still invoked and traced.
-pub const DEFAULT_PASS_ORDER: [&str; 6] = [
+/// The standard pipeline order: analyze → normalize → perfect →
+/// interchange → advise → coalesce → strength-reduce — the static
+/// analyzer first (it sees the nest exactly as written), then the
+/// paper's presentation. Which passes *act* is governed by
+/// [`DriverOptions`]; every pass is still invoked and traced.
+pub const DEFAULT_PASS_ORDER: [&str; 7] = [
+    "analyze",
     "normalize",
     "perfect",
     "interchange",
@@ -46,7 +48,8 @@ pub const DEFAULT_PASS_ORDER: [&str; 6] = [
 /// unknown.
 pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
     Some(match name {
-        "normalize" => Box::new(NormalizePass) as Box<dyn Pass>,
+        "analyze" => Box::new(AnalyzePass) as Box<dyn Pass>,
+        "normalize" => Box::new(NormalizePass),
         "perfect" => Box::new(PerfectionPass),
         "interchange" => Box::new(InterchangePass),
         "advise" => Box::new(AdvisePass),
@@ -123,15 +126,22 @@ impl PassManager {
         transformed.body.clear();
         let mut coalesced = Vec::new();
         let mut skipped = Vec::new();
+        let mut lints = Vec::new();
         let mut trace = PipelineTrace::default();
+        // Constant environment from the straight-line statements seen so
+        // far; the analyze stage lints each nest under the constants
+        // established *before* it (LC002's bounded-symbolic trips).
+        let mut env = lc_lint::ConstEnv::new();
 
         for (idx, stmt) in original.body.iter().enumerate() {
             let Stmt::Loop(l) = stmt else {
+                lc_lint::absorb_stmt(&mut env, stmt);
                 transformed.body.push(stmt.clone());
                 continue;
             };
             let mut cache = NestAnalyses::new(l);
-            let mut state = NestState::new(idx);
+            let mut state = NestState::with_env(idx, env.clone());
+            lc_lint::absorb_stmt(&mut env, stmt);
             for pass in &self.passes {
                 let start = Instant::now();
                 let outcome = {
@@ -142,18 +152,47 @@ impl PassManager {
                     pass.run(&mut state, &mut cx)?
                 };
                 let applied = matches!(outcome, crate::pass::PassOutcome::Applied { .. });
+                let mapped = match outcome {
+                    crate::pass::PassOutcome::Applied { rewrites } => {
+                        TraceOutcome::Applied { rewrites }
+                    }
+                    crate::pass::PassOutcome::Skipped(reason) => TraceOutcome::Skipped { reason },
+                    crate::pass::PassOutcome::Noop => TraceOutcome::Noop,
+                    crate::pass::PassOutcome::Analyzed { findings, per_lint } => {
+                        // One event per lint that ran, then the stage
+                        // summary below.
+                        for (code, nanos) in per_lint {
+                            let fired = findings.iter().filter(|f| f.code == code).count() as u64;
+                            let denied = findings
+                                .iter()
+                                .filter(|f| f.code == code && f.severity == lc_lint::Severity::Deny)
+                                .count() as u64;
+                            trace.events.push(TraceEvent {
+                                nest: Some(idx),
+                                pass: format!("lint:{code}"),
+                                outcome: TraceOutcome::Analyzed {
+                                    findings: fired,
+                                    denied,
+                                },
+                                nanos,
+                            });
+                        }
+                        let denied = findings
+                            .iter()
+                            .filter(|f| f.severity == lc_lint::Severity::Deny)
+                            .count() as u64;
+                        let total = findings.len() as u64;
+                        lints.extend(findings);
+                        TraceOutcome::Analyzed {
+                            findings: total,
+                            denied,
+                        }
+                    }
+                };
                 trace.events.push(TraceEvent {
                     nest: Some(idx),
                     pass: pass.name().to_string(),
-                    outcome: match outcome {
-                        crate::pass::PassOutcome::Applied { rewrites } => {
-                            TraceOutcome::Applied { rewrites }
-                        }
-                        crate::pass::PassOutcome::Skipped(reason) => {
-                            TraceOutcome::Skipped { reason }
-                        }
-                        crate::pass::PassOutcome::Noop => TraceOutcome::Noop,
-                    },
+                    outcome: mapped,
                     nanos: start.elapsed().as_nanos().max(1) as u64,
                 });
                 // Per-pass validation hook: after every structural
@@ -214,6 +253,7 @@ impl PassManager {
             transformed,
             coalesced,
             skipped,
+            lints,
             trace,
         })
     }

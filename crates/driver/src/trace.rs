@@ -33,6 +33,13 @@ pub enum TraceOutcome {
     Noop,
     /// A validation step ran and the program passed.
     Validated,
+    /// The `analyze` stage (or one of its `lint:LCxxx` sub-steps) ran.
+    Analyzed {
+        /// Findings reported.
+        findings: u64,
+        /// Findings at `deny` severity (each vetoes its nest).
+        denied: u64,
+    },
 }
 
 /// One timed pass invocation.
@@ -132,6 +139,9 @@ impl PipelineTrace {
                 TraceOutcome::Skipped { reason } => format!("skipped: {reason}"),
                 TraceOutcome::Noop => "no-op".to_string(),
                 TraceOutcome::Validated => "validated".to_string(),
+                TraceOutcome::Analyzed { findings, denied } => {
+                    format!("analyzed ({findings} findings, {denied} denied)")
+                }
             };
             let _ = writeln!(
                 out,
@@ -261,6 +271,11 @@ fn outcome_to_json(o: &TraceOutcome) -> Json {
         ]),
         TraceOutcome::Noop => Json::obj(vec![("kind", Json::Str("noop".into()))]),
         TraceOutcome::Validated => Json::obj(vec![("kind", Json::Str("validated".into()))]),
+        TraceOutcome::Analyzed { findings, denied } => Json::obj(vec![
+            ("kind", Json::Str("analyzed".into())),
+            ("findings", Json::Int(*findings as i64)),
+            ("denied", Json::Int(*denied as i64)),
+        ]),
     }
 }
 
@@ -274,6 +289,10 @@ fn outcome_from_json(v: &Json) -> Result<TraceOutcome, String> {
         }),
         "noop" => Ok(TraceOutcome::Noop),
         "validated" => Ok(TraceOutcome::Validated),
+        "analyzed" => Ok(TraceOutcome::Analyzed {
+            findings: v.int_field("findings")? as u64,
+            denied: v.int_field("denied")? as u64,
+        }),
         other => Err(format!("unknown outcome kind `{other}`")),
     }
 }
@@ -344,6 +363,11 @@ pub fn skip_reason_to_json(r: &SkipReason) -> Json {
             ("found", Json::Int(*found as i64)),
         ]),
         SkipReason::NothingLegal => Json::obj(vec![kind("nothing-legal")]),
+        SkipReason::LintDenied { code, message } => Json::obj(vec![
+            kind("lint-denied"),
+            ("code", Json::Str(code.clone())),
+            ("message", Json::Str(message.clone())),
+        ]),
         SkipReason::Other(m) => Json::obj(vec![kind("other"), ("message", Json::Str(m.clone()))]),
         // `SkipReason` is #[non_exhaustive]; future variants degrade to a
         // message-only encoding rather than failing to serialize.
@@ -402,9 +426,41 @@ pub fn skip_reason_from_json(v: &Json) -> Result<SkipReason, String> {
             found: v.int_field("found")? as usize,
         },
         "nothing-legal" => SkipReason::NothingLegal,
+        "lint-denied" => SkipReason::LintDenied {
+            code: v.str_field("code")?.to_string(),
+            message: v.str_field("message")?.to_string(),
+        },
         "other" => SkipReason::Other(v.str_field("message")?.to_string()),
         other => return Err(format!("unknown skip reason kind `{other}`")),
     })
+}
+
+/// Serialize one `lc-lint` [`Finding`](lc_lint::Finding) as a JSON
+/// object, mirroring `lc_lint::render::finding_to_json`'s key order so
+/// service envelopes and the CLI agree on the schema.
+pub fn finding_to_json(f: &lc_lint::Finding) -> Json {
+    let opt = |v: Option<usize>| match v {
+        Some(n) => Json::Int(n as i64),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("code", Json::Str(f.code.code().into())),
+        ("slug", Json::Str(f.code.slug().into())),
+        ("severity", Json::Str(f.severity.name().into())),
+        ("nest", Json::Int(f.nest as i64)),
+        ("level", opt(f.level)),
+        ("line", opt(f.line)),
+        ("message", Json::Str(f.message.clone())),
+        (
+            "details",
+            Json::Obj(
+                f.details
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]

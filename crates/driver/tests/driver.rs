@@ -278,6 +278,10 @@ fn skip_reasons_round_trip_through_json() {
         },
         SkipReason::ImperfectNest { found: 2 },
         SkipReason::NothingLegal,
+        SkipReason::LintDenied {
+            code: "LC001".into(),
+            message: "`doall i` (level 0) carries a flow dependence".into(),
+        },
         SkipReason::Other("free-form".into()),
     ];
     for reason in reasons {
@@ -312,6 +316,168 @@ fn skips_round_trip_and_render_the_seed_messages() {
     assert_eq!(
         plain.to_string(),
         "dependence carried at level `i` forbids coalescing"
+    );
+}
+
+// ── static analysis stage ───────────────────────────────────────────────
+
+const RACY_DOALL: &str = "
+    array A[8];
+    doall i = 2..8 {
+        A[i] = A[i - 1];
+    }
+";
+
+#[test]
+fn analyze_stage_traces_per_lint_timings() {
+    let out = Driver::default().compile(QUICKSTART).unwrap();
+    // The default lint set runs every lint at `warn`: the stage summary
+    // event plus one `lint:LCxxx` event per lint, all with real timings.
+    let analyze = out
+        .trace
+        .events_for(0)
+        .find(|e| e.pass == "analyze")
+        .expect("analyze stage must be traced");
+    assert_eq!(
+        analyze.outcome,
+        TraceOutcome::Analyzed {
+            findings: 0,
+            denied: 0
+        }
+    );
+    for code in ["LC001", "LC002", "LC003", "LC004", "LC005"] {
+        let event = out
+            .trace
+            .events_for(0)
+            .find(|e| e.pass == format!("lint:{code}"))
+            .unwrap_or_else(|| panic!("lint:{code} missing from trace"));
+        assert!(event.nanos >= 1);
+    }
+    assert!(out.lints.is_empty(), "{:?}", out.lints);
+    // A trace carrying analyzed events still round-trips through JSON.
+    let text = out.trace.to_json_string();
+    assert_eq!(
+        lc_driver::PipelineTrace::from_json_string(&text).unwrap(),
+        out.trace
+    );
+}
+
+#[test]
+fn warned_race_is_reported_but_does_not_block_the_pipeline() {
+    let out = Driver::default().compile(RACY_DOALL).unwrap();
+    // Default severity is `warn`: the finding lands in `lints` with its
+    // direction vector, and the pipeline still runs (coalesce itself
+    // skips on the carried dependence, as before).
+    let racy: Vec<_> = out
+        .lints
+        .iter()
+        .filter(|f| f.code.code() == "LC001")
+        .collect();
+    assert_eq!(racy.len(), 1, "{:?}", out.lints);
+    assert_eq!(racy[0].detail("direction"), Some("(<)"));
+    assert_eq!(racy[0].detail("kind"), Some("flow"));
+    assert!(!out
+        .skipped
+        .iter()
+        .any(|s| matches!(s.reason, SkipReason::LintDenied { .. })));
+    let analyze = out
+        .trace
+        .events_for(0)
+        .find(|e| e.pass == "analyze")
+        .unwrap();
+    assert_eq!(
+        analyze.outcome,
+        TraceOutcome::Analyzed {
+            findings: 1,
+            denied: 0
+        }
+    );
+}
+
+#[test]
+fn denied_lint_vetoes_the_nest() {
+    use lc_lint::{LintCode, LintSet, Severity};
+    let options = DriverOptions {
+        lints: LintSet::default().with(LintCode::DoallRace, Severity::Deny),
+        ..Default::default()
+    };
+    let out = Driver::new(options).compile(RACY_DOALL).unwrap();
+    // The nest is emitted untransformed with a LintDenied diagnostic …
+    assert!(out.coalesced.is_empty());
+    assert_eq!(out.skipped.len(), 1);
+    let SkipReason::LintDenied { code, message } = &out.skipped[0].reason else {
+        panic!("expected LintDenied, got {:?}", out.skipped[0].reason);
+    };
+    assert_eq!(code, "LC001");
+    assert!(message.contains("flow dependence"), "{message}");
+    // … and every later pass no-ops (the analyze stage decided).
+    for e in out.trace.events_for(0) {
+        if e.pass != "analyze" && !e.pass.starts_with("lint:") {
+            assert_eq!(e.outcome, TraceOutcome::Noop, "pass {} ran", e.pass);
+        }
+    }
+    // The deny shows up in both the stage summary and the finding list.
+    let analyze = out
+        .trace
+        .events_for(0)
+        .find(|e| e.pass == "analyze")
+        .unwrap();
+    assert_eq!(
+        analyze.outcome,
+        TraceOutcome::Analyzed {
+            findings: 1,
+            denied: 1
+        }
+    );
+    assert_eq!(out.lints.len(), 1);
+    // The skip (with its LintDenied reason) round-trips through JSON.
+    let skip = &out.skipped[0];
+    let back = Skip::from_json(&Json::parse(&skip.to_json().to_string()).unwrap()).unwrap();
+    assert_eq!(&back, skip);
+}
+
+#[test]
+fn all_allow_disables_the_analyze_stage() {
+    use lc_lint::LintSet;
+    let options = DriverOptions {
+        lints: LintSet::all_allow(),
+        ..Default::default()
+    };
+    let out = Driver::new(options).compile(RACY_DOALL).unwrap();
+    let analyze = out
+        .trace
+        .events_for(0)
+        .find(|e| e.pass == "analyze")
+        .unwrap();
+    assert_eq!(analyze.outcome, TraceOutcome::Noop);
+    assert!(out.lints.is_empty());
+    assert!(!out.trace.events.iter().any(|e| e.pass.starts_with("lint:")));
+}
+
+#[test]
+fn analyze_resolves_bounded_symbolic_trips_from_preceding_assignments() {
+    use lc_lint::LintCode;
+    // n is established by straight-line code before the nest; LC002 must
+    // see it and prove the product overflows i64.
+    let out = Driver::default()
+        .compile(
+            "
+            array A[4];
+            n = 4000000000;
+            doall i = 1..n {
+                doall j = 1..n {
+                    doall k = 1..n {
+                        A[1] = 0;
+                    }
+                }
+            }
+            ",
+        )
+        .unwrap();
+    assert!(
+        out.lints.iter().any(|f| f.code == LintCode::TripOverflow),
+        "{:?}",
+        out.lints
     );
 }
 

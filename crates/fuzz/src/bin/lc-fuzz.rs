@@ -173,6 +173,19 @@ fn fuzz_nests(args: &Args) -> ExitCode {
     let mut interpreted = 0u64;
     let mut coalesced_nests = 0u64;
     let mut findings = 0u64;
+    // Per-class finding counts. Every kind is always printed (zeros
+    // included) so CI can assert e.g. `lint-unsound=0` with a grep.
+    const KINDS: [&str; 8] = [
+        "panic",
+        "non-determinism",
+        "validation-failed",
+        "execution-split",
+        "value-mismatch",
+        "spurious-skip",
+        "order-dependence",
+        "lint-unsound",
+    ];
+    let mut by_kind = [0u64; KINDS.len()];
 
     println!(
         "lc-fuzz: seed {:#x}, cases {}, max rank {}",
@@ -192,6 +205,9 @@ fn fuzz_nests(args: &Args) -> ExitCode {
             Some(d) => {
                 digest.eat(d.kind().as_bytes());
                 findings += 1;
+                if let Some(slot) = KINDS.iter().position(|k| *k == d.kind()) {
+                    by_kind[slot] += 1;
+                }
                 println!("FINDING case {case}: {} — {d}", d.kind());
                 if let Err(e) = write_finding(&args.out, &outcome, args.seed) {
                     eprintln!("could not write finding for case {case}: {e}");
@@ -206,6 +222,12 @@ fn fuzz_nests(args: &Args) -> ExitCode {
     println!("interpreted: {interpreted}");
     println!("coalesced-nests: {coalesced_nests}");
     println!("findings: {findings}");
+    let classes: Vec<String> = KINDS
+        .iter()
+        .zip(by_kind)
+        .map(|(kind, n)| format!("{kind}={n}"))
+        .collect();
+    println!("classes: {}", classes.join(" "));
     println!("digest: {:#018x}", digest.0);
     eprintln!("elapsed: {:?}", started.elapsed());
 

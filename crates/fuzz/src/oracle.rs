@@ -22,6 +22,7 @@ use lc_driver::{Driver, DriverOptions, DEFAULT_PASS_ORDER};
 use lc_ir::interp::{DoallOrder, Interp, Store};
 use lc_ir::printer::print_program;
 use lc_ir::program::Program;
+use lc_lint::{LintCode, LintSet, Severity};
 use lc_sched::advise::AdviseParams;
 use lc_xform::coalesce::CoalesceOptions;
 use lc_xform::recovery::RecoveryScheme;
@@ -91,6 +92,13 @@ pub enum Divergence {
         /// Which order diverged from the forward run.
         order: String,
     },
+    /// `lc-lint` certified the *original* program race-free, yet its
+    /// result depends on `doall` iteration order — the certificate is
+    /// unsound.
+    LintUnsound {
+        /// Which order diverged from the forward run.
+        order: String,
+    },
 }
 
 impl Divergence {
@@ -105,6 +113,7 @@ impl Divergence {
             Divergence::ValueMismatch { .. } => "value-mismatch",
             Divergence::SpuriousSkip { .. } => "spurious-skip",
             Divergence::OrderDependence { .. } => "order-dependence",
+            Divergence::LintUnsound { .. } => "lint-unsound",
         }
     }
 }
@@ -145,6 +154,12 @@ impl std::fmt::Display for Divergence {
             ),
             Divergence::OrderDependence { order } => {
                 write!(f, "transformed result changes under {order} doall order")
+            }
+            Divergence::LintUnsound { order } => {
+                write!(
+                    f,
+                    "lint-certified program changes result under {order} doall order"
+                )
             }
         }
     }
@@ -211,6 +226,7 @@ pub fn random_options(rng: &mut Rng) -> DriverOptions {
         advise: None,
         pass_order: None,
         validate_each_pass: false,
+        lints: random_lints(rng),
     };
     if rng.chance(1, 8) {
         options.advise = Some(AdviseParams {
@@ -219,6 +235,21 @@ pub fn random_options(rng: &mut Rng) -> DriverOptions {
         });
     }
     options
+}
+
+/// Random lint configuration: usually the default (everything warns, so
+/// the analyze stage runs but never vetoes), sometimes the pre-analyzer
+/// all-allow configuration, and occasionally a hard `deny` on the race
+/// lint so the fuzzer exercises the veto path too.
+pub fn random_lints(rng: &mut Rng) -> LintSet {
+    if rng.chance(1, 4) {
+        return LintSet::all_allow();
+    }
+    let mut set = LintSet::default();
+    if rng.chance(1, 8) {
+        set = set.with(LintCode::DoallRace, Severity::Deny);
+    }
+    set
 }
 
 /// Run the full differential check for one program under one
@@ -367,6 +398,32 @@ pub fn run_program(
             coalesced: output.coalesced.len(),
             interpreted: true,
         };
+    }
+
+    // The lint layer's certificate must be sound: when `lc-lint`
+    // declares the *original* program race-free, its result may not
+    // depend on `doall` iteration order. This checks the analyzer
+    // itself, independent of whether anything was transformed.
+    if lc_lint::certifies_order_independent(program) {
+        for (name, order) in [
+            ("reverse", DoallOrder::Reverse),
+            ("shuffled", DoallOrder::Shuffled(interp_seed ^ 0x5EED)),
+        ] {
+            match run(program, order) {
+                Ok(store) if store.digest() == want.digest() => {}
+                _ => {
+                    return OracleResult {
+                        divergence: Some(Divergence::LintUnsound {
+                            order: name.to_string(),
+                        }),
+                        compiled: true,
+                        compile_error: None,
+                        coalesced: output.coalesced.len(),
+                        interpreted: true,
+                    };
+                }
+            }
+        }
     }
 
     // A coalesced doall must not care about iteration order.

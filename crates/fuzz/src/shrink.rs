@@ -196,6 +196,16 @@ pub fn regression_snippet(
         .collect::<Vec<_>>()
         .join(", ");
     let c = &options.coalesce;
+    let lint_chain: String = lc_lint::LintCode::ALL
+        .iter()
+        .filter(|&&code| options.lints.level(code) != lc_lint::Severity::Allow)
+        .map(|&code| {
+            format!(
+                "\n        .with(lc_lint::LintCode::{code:?}, lc_lint::Severity::{:?})",
+                options.lints.level(code)
+            )
+        })
+        .collect();
     format!(
         r##"// Minimized lc-fuzz finding: {kind}.
 #[test]
@@ -217,6 +227,7 @@ fn fuzz_regression_{name}() {{
         advise: None,
         pass_order: None,
         validate_each_pass: {validate_each_pass},
+        lints: lc_lint::LintSet::all_allow(){lint_chain},
     }};
     let divergence = lc_fuzz::oracle::check_source(
         src,

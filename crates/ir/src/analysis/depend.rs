@@ -34,6 +34,23 @@ pub enum Dir {
     Gt,
 }
 
+impl Dir {
+    /// Conventional one-character rendering: `<`, `=`, or `>`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Dir::Lt => "<",
+            Dir::Eq => "=",
+            Dir::Gt => ">",
+        }
+    }
+}
+
+/// Render a direction vector in the conventional `(<, =, >)` notation.
+pub fn format_direction(dv: &[Dir]) -> String {
+    let inner: Vec<&str> = dv.iter().map(|d| d.symbol()).collect();
+    format!("({})", inner.join(", "))
+}
+
 /// Classification of a dependence by the access kinds of its endpoints,
 /// in textual order within the loop body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +61,17 @@ pub enum DepKind {
     Anti,
     /// Write then write (output dependence).
     Output,
+}
+
+impl DepKind {
+    /// Lower-case noun used in diagnostics: `flow`, `anti`, or `output`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        }
+    }
 }
 
 /// One (possibly spurious) dependence between two references of the same
@@ -102,6 +130,35 @@ impl NestDeps {
     pub fn fully_parallel(&self) -> bool {
         (0..self.depth).all(|l| !self.carried_at(l))
     }
+
+    /// The concrete dependence blocking DOALL execution of `level`
+    /// (0-based), or `None` when the level is dependence-free.
+    ///
+    /// Returns the first dependence (in `deps` order) carried at the
+    /// level together with the first of its direction vectors whose
+    /// leading non-`=` entry sits at `level` — enough for a diagnostic
+    /// to name the dependence kind, the direction vector, and both
+    /// access sites instead of reporting a bare `carried_at: true`.
+    pub fn explain(&self, level: usize) -> Option<BlockingDep<'_>> {
+        for dep in &self.deps {
+            for dv in &dep.directions {
+                if dv.iter().position(|d| *d != Dir::Eq) == Some(level) {
+                    return Some(BlockingDep { dep, direction: dv });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The concrete dependence blocking DOALL execution of a level, as
+/// returned by [`NestDeps::explain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingDep<'a> {
+    /// The dependence carried at the queried level.
+    pub dep: &'a Dependence,
+    /// The specific direction vector of `dep` carried there.
+    pub direction: &'a [Dir],
 }
 
 /// Analyze a perfect nest for loop-carried dependences.
@@ -325,8 +382,12 @@ fn collect_cond(c: &Cond, idx: usize, pins: &Pins, out: &mut Vec<RefInfo>) {
     }
 }
 
-/// Closed interval over `i128` (wide enough that coefficient × bound never
-/// overflows).
+/// Closed interval over `i128`. A single `coeff × bound` product cannot
+/// overflow `i128` (both factors are `i64`), but a long chain of
+/// accumulated terms could; [`Ival::add`] therefore *saturates* at the
+/// `i128` limits. Saturation only ever widens the interval, which keeps
+/// the test conservative (a wider interval can only make `contains_zero`
+/// more likely, i.e. report more dependences, never fewer).
 #[derive(Debug, Clone, Copy)]
 struct Ival {
     lo: i128,
@@ -349,8 +410,8 @@ impl Ival {
 
     fn add(self, other: Ival) -> Ival {
         Ival {
-            lo: self.lo + other.lo,
-            hi: self.hi + other.hi,
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
         }
     }
 
@@ -576,12 +637,13 @@ fn dim_feasible(
         return true; // interval test only when pins were involved
     }
     // GCD test: sum of var terms is a multiple of gcd_acc, so h can only be
-    // zero if gcd_acc divides the constant difference.
-    let c0 = f.constant - g.constant;
+    // zero if gcd_acc divides the constant difference. Widen to i128 so the
+    // subtraction cannot overflow for extreme constants.
+    let c0 = f.constant as i128 - g.constant as i128;
     if gcd_acc == 0 {
         c0 == 0
     } else {
-        c0 % gcd_acc == 0
+        c0 % gcd_acc as i128 == 0
     }
 }
 
@@ -966,6 +1028,27 @@ mod tests {
             .find(|x| x.kind == DepKind::Anti)
             .expect("anti dependence");
         assert_eq!((anti.src_stmt, anti.dst_stmt), (0, 1));
+    }
+
+    #[test]
+    fn explain_names_the_blocking_dependence() {
+        let d = deps_of(
+            "
+            array A[8][8];
+            for i = 1..8 {
+                for j = 2..8 {
+                    A[i][j] = A[i][j - 1] + 1;
+                }
+            }
+            ",
+        );
+        assert!(d.explain(0).is_none(), "outer level is clean: {d:?}");
+        let b = d.explain(1).expect("inner level carries a dependence");
+        assert_eq!(b.dep.kind, DepKind::Flow);
+        assert_eq!(b.dep.array.to_string(), "A");
+        assert_eq!(b.direction, &[Dir::Eq, Dir::Lt]);
+        assert_eq!(format_direction(b.direction), "(=, <)");
+        assert_eq!((b.dep.src_stmt, b.dep.dst_stmt), (0, 0));
     }
 
     #[test]

@@ -172,6 +172,14 @@ pub enum SkipReason {
     },
     /// Every level carries a dependence; no band is legal.
     NothingLegal,
+    /// A static-analysis lint configured at `deny` severity fired on the
+    /// nest, so the pipeline refused to transform it.
+    LintDenied {
+        /// Stable lint code (e.g. `"LC001"`).
+        code: String,
+        /// The lint's human-readable message.
+        message: String,
+    },
     /// Free-form reason with no dedicated variant.
     Other(String),
 }
@@ -253,6 +261,9 @@ impl fmt::Display for SkipReason {
             }
             SkipReason::NothingLegal => {
                 write!(f, "every level carries a dependence; nothing to coalesce")
+            }
+            SkipReason::LintDenied { code, message } => {
+                write!(f, "denied by lint {code}: {message}")
             }
             SkipReason::Other(m) => f.write_str(m),
         }

@@ -1,0 +1,1605 @@
+//! `lc-lint` — static legality & race analysis over the loop IR.
+//!
+//! The coalescing transformation (crate `lc-xform`) is only sound when
+//! every collapsed level really is DOALL; the paper simply *assumes* the
+//! nest is parallel and the pipeline historically trusted the `doall`
+//! keyword the same way, checking correctness only dynamically. This
+//! crate supplies the missing static layer: a registry of IR-level
+//! checks built on the GCD + Banerjee dependence tester
+//! ([`lc_ir::analysis::depend`]) that emit typed, machine-readable
+//! [`Finding`]s with stable codes, severities, and (when linting source
+//! text) line numbers.
+//!
+//! # Lint codes
+//!
+//! | Code  | Slug                  | Meaning                                           |
+//! |-------|-----------------------|---------------------------------------------------|
+//! | LC001 | `doall-race`          | a `doall` level carries a dependence              |
+//! | LC002 | `trip-overflow`       | coalesced trip count can exceed `i64::MAX`        |
+//! | LC003 | `non-affine-subscript`| subscript analyzed conservatively                 |
+//! | LC004 | `dead-induction`      | recovered index never read in the body            |
+//! | LC005 | `reduction-in-doall`  | cross-iteration scalar / reduction in a parallel level |
+//!
+//! # Soundness
+//!
+//! The lints are *conservative*: on programs whose subscripts are affine
+//! they have no false negatives (LC001 reports every dependence the
+//! Banerjee/GCD tester cannot disprove; non-affine subscripts are
+//! treated as conflicting with everything). They may report findings
+//! that cannot occur dynamically — that is the safe direction for a
+//! legality analysis. [`certifies_order_independent`] builds on this to
+//! give the fuzzer a falsifiable contract: when it returns `true`, the
+//! final array store of the program must be identical under every
+//! `doall` iteration order.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod render;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use lc_ir::analysis::affine::Affine;
+use lc_ir::analysis::depend::{analyze_nest, format_direction, NestDeps};
+use lc_ir::analysis::nest::{extract_nest, LoopHeader, Nest};
+use lc_ir::printer::print_expr;
+use lc_ir::{Cond, Expr, Loop, Program, Stmt, Symbol};
+
+/// Stable identifier of one check in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// LC001: a level declared `doall` carries a flow/anti/output
+    /// dependence.
+    DoallRace,
+    /// LC002: the product of trip counts can exceed `i64::MAX`, so a
+    /// coalesced index would overflow.
+    TripOverflow,
+    /// LC003: a subscript is not affine and the dependence tester had to
+    /// treat it conservatively.
+    NonAffineSubscript,
+    /// LC004: a loop index is never read in the nest body, so its
+    /// recovery code after coalescing is pure overhead.
+    DeadInduction,
+    /// LC005: a recognizable reduction / cross-iteration scalar inside a
+    /// parallel level.
+    ReductionInDoall,
+}
+
+impl LintCode {
+    /// Every lint, in code order. Drives registry iteration.
+    pub const ALL: [LintCode; 5] = [
+        LintCode::DoallRace,
+        LintCode::TripOverflow,
+        LintCode::NonAffineSubscript,
+        LintCode::DeadInduction,
+        LintCode::ReductionInDoall,
+    ];
+
+    /// Stable code string, e.g. `"LC001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::DoallRace => "LC001",
+            LintCode::TripOverflow => "LC002",
+            LintCode::NonAffineSubscript => "LC003",
+            LintCode::DeadInduction => "LC004",
+            LintCode::ReductionInDoall => "LC005",
+        }
+    }
+
+    /// Human-oriented kebab-case name, e.g. `"doall-race"`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            LintCode::DoallRace => "doall-race",
+            LintCode::TripOverflow => "trip-overflow",
+            LintCode::NonAffineSubscript => "non-affine-subscript",
+            LintCode::DeadInduction => "dead-induction",
+            LintCode::ReductionInDoall => "reduction-in-doall",
+        }
+    }
+
+    /// Parse either the code (`LC001`) or the slug (`doall-race`).
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.code().eq_ignore_ascii_case(s) || c.slug() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            LintCode::DoallRace => 0,
+            LintCode::TripOverflow => 1,
+            LintCode::NonAffineSubscript => 2,
+            LintCode::DeadInduction => 3,
+            LintCode::ReductionInDoall => 4,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How a lint's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The lint does not run; no findings are produced.
+    Allow,
+    /// Findings are reported but do not block anything.
+    Warn,
+    /// Findings are reported *and* fatal: the driver refuses to
+    /// transform the nest (`SkipReason::LintDenied`) and the CLI exits
+    /// non-zero.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case name: `allow`, `warn`, or `deny`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-lint severity configuration. The default is every lint at
+/// [`Severity::Warn`]: findings are reported but nothing is blocked, so
+/// enabling the analyzer never changes what a pipeline produces unless
+/// the user opts into `deny`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintSet {
+    levels: [Severity; 5],
+}
+
+impl Default for LintSet {
+    fn default() -> Self {
+        LintSet {
+            levels: [Severity::Warn; 5],
+        }
+    }
+}
+
+impl LintSet {
+    /// All lints at `warn` (same as `Default`).
+    pub fn new() -> LintSet {
+        LintSet::default()
+    }
+
+    /// All lints at `allow` — the analyzer is effectively off.
+    pub fn all_allow() -> LintSet {
+        LintSet {
+            levels: [Severity::Allow; 5],
+        }
+    }
+
+    /// Current severity of a lint.
+    pub fn level(&self, code: LintCode) -> Severity {
+        self.levels[code.index()]
+    }
+
+    /// Set the severity of a lint.
+    pub fn set(&mut self, code: LintCode, sev: Severity) {
+        self.levels[code.index()] = sev;
+    }
+
+    /// Builder-style [`LintSet::set`].
+    pub fn with(mut self, code: LintCode, sev: Severity) -> LintSet {
+        self.set(code, sev);
+        self
+    }
+
+    /// Set the severity of the lint named by `spec` (a code like `LC001`,
+    /// a slug like `doall-race`, or `all` for every lint). Errors with a
+    /// human-readable message on an unknown name.
+    pub fn set_by_name(&mut self, spec: &str, sev: Severity) -> Result<(), String> {
+        if spec == "all" {
+            self.levels = [sev; 5];
+            return Ok(());
+        }
+        match LintCode::parse(spec) {
+            Some(c) => {
+                self.set(c, sev);
+                Ok(())
+            }
+            None => Err(format!(
+                "unknown lint `{spec}` (expected a code like LC001, a slug like doall-race, or `all`)"
+            )),
+        }
+    }
+
+    /// True when every lint is at `allow` — the analyze stage can skip
+    /// all work.
+    pub fn all_allowed(&self) -> bool {
+        self.levels.iter().all(|s| *s == Severity::Allow)
+    }
+
+    /// True when at least one lint is at `deny`.
+    pub fn any_denied(&self) -> bool {
+        self.levels.contains(&Severity::Deny)
+    }
+}
+
+/// Constant-propagation environment mapping scalars to known values
+/// (built from straight-line top-level assignments). LC002 uses it to
+/// resolve *bounded-symbolic* trip counts like `n = 4000000000; … 1..n`.
+pub type ConstEnv = BTreeMap<Symbol, i64>;
+
+/// One diagnostic produced by a lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Effective severity it fired at.
+    pub severity: Severity,
+    /// Index of the top-level statement the nest belongs to.
+    pub nest: usize,
+    /// 0-based level within the (sub)nest, when the finding points at a
+    /// specific loop level.
+    pub level: Option<usize>,
+    /// 1-based source line of the relevant loop header. Only populated
+    /// by [`lint_source`]; IR-level linting has no source positions.
+    pub line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+    /// Machine-readable key/value details (dependence kind, direction
+    /// vector, access sites, suggested band, …).
+    pub details: Vec<(String, String)>,
+    /// Pre-order index of the relevant loop header among all loop
+    /// headers of the program; [`lint_source`] maps it to a line.
+    pub(crate) ordinal: Option<usize>,
+}
+
+impl Finding {
+    /// Look up a detail value by key.
+    pub fn detail(&self, key: &str) -> Option<&str> {
+        self.details
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn detail(k: &str, v: impl Into<String>) -> (String, String) {
+    (k.to_string(), v.into())
+}
+
+/// One perfect (sub)nest carved out of a top-level loop statement, with
+/// the pre-order ordinal of each level's header.
+struct SubNest {
+    nest: Nest,
+    level_ordinals: Vec<usize>,
+}
+
+/// Lints one top-level loop statement (and every nest nested below it).
+///
+/// The driver's `analyze` stage runs each lint individually so it can
+/// report per-lint timings; [`lint_program`] runs them all. Dependence
+/// analysis is memoized per (sub)nest across lints.
+pub struct NestLinter<'a> {
+    nest_index: usize,
+    env: &'a ConstEnv,
+    root: Loop,
+    root_ordinal: usize,
+    subnests: Vec<SubNest>,
+    /// Memo: `None` = not yet computed; `Some(None)` = analysis failed.
+    deps: Vec<Option<Option<NestDeps>>>,
+}
+
+impl<'a> NestLinter<'a> {
+    /// Prepare to lint `l`, the loop at top-level statement `nest_index`.
+    pub fn new(l: &Loop, nest_index: usize, env: &'a ConstEnv) -> NestLinter<'a> {
+        let mut counter = 0usize;
+        NestLinter::with_ordinals(l, nest_index, env, &mut counter)
+    }
+
+    /// As [`NestLinter::new`], threading a global pre-order loop-header
+    /// counter so [`lint_source`] can attach line numbers.
+    pub fn with_ordinals(
+        l: &Loop,
+        nest_index: usize,
+        env: &'a ConstEnv,
+        counter: &mut usize,
+    ) -> NestLinter<'a> {
+        let root_ordinal = *counter;
+        let mut subnests = Vec::new();
+        collect_subnests(l, counter, &mut subnests);
+        let n = subnests.len();
+        NestLinter {
+            nest_index,
+            env,
+            root: l.clone(),
+            root_ordinal,
+            subnests,
+            deps: vec![None; n],
+        }
+    }
+
+    /// Run a single lint at the given severity.
+    pub fn run(&mut self, code: LintCode, severity: Severity) -> Vec<Finding> {
+        match code {
+            LintCode::DoallRace => self.lc001(severity),
+            LintCode::TripOverflow => self.lc002(severity),
+            LintCode::NonAffineSubscript => self.lc003(severity),
+            LintCode::DeadInduction => self.lc004(severity),
+            LintCode::ReductionInDoall => self.lc005(severity),
+        }
+    }
+
+    /// Run every lint enabled in `set` (skipping `allow`), in code order.
+    pub fn run_all(&mut self, set: &LintSet) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for code in LintCode::ALL {
+            let sev = set.level(code);
+            if sev == Severity::Allow {
+                continue;
+            }
+            out.extend(self.run(code, sev));
+        }
+        out
+    }
+
+    fn ensure_deps(&mut self, si: usize) {
+        if self.deps[si].is_none() {
+            self.deps[si] = Some(analyze_nest(&self.subnests[si].nest).ok());
+        }
+    }
+
+    /// LC001: every `doall` level must be dependence-free.
+    fn lc001(&mut self, severity: Severity) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for si in 0..self.subnests.len() {
+            if !self.subnests[si]
+                .nest
+                .loops
+                .iter()
+                .any(|h| h.kind.is_doall())
+            {
+                continue;
+            }
+            self.ensure_deps(si);
+            let sn = &self.subnests[si];
+            let deps = self.deps[si].as_ref().and_then(|d| d.as_ref());
+            let Some(deps) = deps else {
+                // Analysis failure: stay conservative and treat every
+                // doall level as potentially racy.
+                for (k, h) in sn.nest.loops.iter().enumerate() {
+                    if h.kind.is_doall() {
+                        out.push(Finding {
+                            code: LintCode::DoallRace,
+                            severity,
+                            nest: self.nest_index,
+                            level: Some(k),
+                            line: None,
+                            message: format!(
+                                "`doall {}` (level {k}): dependence analysis failed; \
+                                 treating the level as potentially racy",
+                                h.var
+                            ),
+                            details: vec![detail("kind", "unknown")],
+                            ordinal: Some(sn.level_ordinals[k]),
+                        });
+                    }
+                }
+                continue;
+            };
+            let band = suggested_band(deps);
+            for (k, h) in sn.nest.loops.iter().enumerate() {
+                if !h.kind.is_doall() {
+                    continue;
+                }
+                let Some(b) = deps.explain(k) else { continue };
+                let direction = format_direction(b.direction);
+                let kind = b.dep.kind.name();
+                out.push(Finding {
+                    code: LintCode::DoallRace,
+                    severity,
+                    nest: self.nest_index,
+                    level: Some(k),
+                    line: None,
+                    message: format!(
+                        "`doall {}` (level {k}) carries a {kind} dependence on `{}` \
+                         with direction {direction} between statements {} and {}; \
+                         iterations are not independent",
+                        h.var, b.dep.array, b.dep.src_stmt, b.dep.dst_stmt
+                    ),
+                    details: vec![
+                        detail("kind", kind),
+                        detail("array", b.dep.array.to_string()),
+                        detail("direction", direction.clone()),
+                        detail("src_stmt", b.dep.src_stmt.to_string()),
+                        detail("dst_stmt", b.dep.dst_stmt.to_string()),
+                        detail("suggested_band", band.clone()),
+                    ],
+                    ordinal: Some(sn.level_ordinals[k]),
+                });
+            }
+        }
+        out
+    }
+
+    /// LC002: the coalesced trip count `N1·…·Nm` must fit in `i64`.
+    fn lc002(&mut self, severity: Severity) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for sn in &self.subnests {
+            if sn.nest.depth() < 2 {
+                continue; // a single level cannot overflow by coalescing
+            }
+            let mut product: u128 = 1;
+            let mut trips = Vec::new();
+            for h in &sn.nest.loops {
+                match trip_count(h, self.env) {
+                    Some(t) => {
+                        product = product.saturating_mul(t as u128);
+                        trips.push(t.to_string());
+                    }
+                    // Unknown trips count as 1 so only *provable*
+                    // overflows fire.
+                    None => trips.push("?".to_string()),
+                }
+            }
+            if product > i64::MAX as u128 {
+                out.push(Finding {
+                    code: LintCode::TripOverflow,
+                    severity,
+                    nest: self.nest_index,
+                    level: None,
+                    line: None,
+                    message: format!(
+                        "coalescing this depth-{} nest multiplies trip counts [{}] to \
+                         {product}, which exceeds i64::MAX ({}); the coalesced index \
+                         would overflow",
+                        sn.nest.depth(),
+                        trips.join(", "),
+                        i64::MAX
+                    ),
+                    details: vec![
+                        detail("trips", trips.join(",")),
+                        detail("product", product.to_string()),
+                    ],
+                    ordinal: Some(sn.level_ordinals[0]),
+                });
+            }
+        }
+        out
+    }
+
+    /// LC003: explain subscripts the dependence tester treats
+    /// conservatively.
+    fn lc003(&mut self, severity: Severity) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let nest_index = self.nest_index;
+        let mut counter = self.root_ordinal;
+        walk_refs(&self.root, &mut counter, &mut |ordinal, array, dim, ix| {
+            if Affine::from_expr(ix).is_none() {
+                out.push(Finding {
+                    code: LintCode::NonAffineSubscript,
+                    severity,
+                    nest: nest_index,
+                    level: None,
+                    line: None,
+                    message: format!(
+                        "subscript `{}` (dimension {dim} of `{array}`) is not affine; \
+                         the dependence tester treats it as conflicting with every \
+                         reference to `{array}`, so the nest is analyzed conservatively",
+                        print_expr(ix)
+                    ),
+                    details: vec![
+                        detail("array", array.to_string()),
+                        detail("dim", dim.to_string()),
+                        detail("subscript", print_expr(ix)),
+                    ],
+                    ordinal: Some(ordinal),
+                });
+            }
+        });
+        out
+    }
+
+    /// LC004: a level whose index is never read makes recovery code pure
+    /// overhead.
+    fn lc004(&mut self, severity: Severity) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for sn in &self.subnests {
+            let mut used = Vec::new();
+            for h in &sn.nest.loops {
+                h.lower.variables(&mut used);
+                h.upper.variables(&mut used);
+                h.step.variables(&mut used);
+            }
+            stmt_variables(&sn.nest.body, &mut used);
+            let used: BTreeSet<Symbol> = used.into_iter().collect();
+            for (k, h) in sn.nest.loops.iter().enumerate() {
+                if used.contains(&h.var) {
+                    continue;
+                }
+                out.push(Finding {
+                    code: LintCode::DeadInduction,
+                    severity,
+                    nest: self.nest_index,
+                    level: Some(k),
+                    line: None,
+                    message: format!(
+                        "index `{}` of level {k} is never read in the nest body; after \
+                         coalescing, recovering it is pure overhead — consider \
+                         collapsing only the band of live levels (partial collapse)",
+                        h.var
+                    ),
+                    details: vec![detail("var", h.var.to_string())],
+                    ordinal: Some(sn.level_ordinals[k]),
+                });
+            }
+        }
+        out
+    }
+
+    /// LC005: cross-iteration scalar (reduction idiom) inside a nest
+    /// with a parallel level.
+    fn lc005(&mut self, severity: Severity) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<Symbol> = BTreeSet::new();
+        for sn in &self.subnests {
+            if !sn.nest.loops.iter().any(|h| h.kind.is_doall()) {
+                continue;
+            }
+            let loop_vars: BTreeSet<Symbol> = sn.nest.loops.iter().map(|h| h.var.clone()).collect();
+            // A scalar never written inside the nest is loop-invariant:
+            // reading it is harmless. Only scalars the body also assigns
+            // can carry a value across iterations.
+            let mut written = BTreeSet::new();
+            scalars_assigned(&sn.nest.body, &mut written);
+            let mut assigned = BTreeSet::new();
+            let mut hits = Vec::new();
+            scan_scalars(&sn.nest.body, &mut assigned, &loop_vars, &mut hits);
+            hits.retain(|(v, _)| written.contains(v));
+            for (var, is_reduction) in hits {
+                if !seen.insert(var.clone()) {
+                    continue; // already reported at an outer (sub)nest
+                }
+                let message = if is_reduction {
+                    format!(
+                        "scalar `{var}` forms a reduction (`{var} = {var} ⊕ …`) inside \
+                         a parallel level; iterations are not independent — apply a \
+                         reduction strategy or privatize the accumulator"
+                    )
+                } else {
+                    format!(
+                        "scalar `{var}` may be read before it is assigned within one \
+                         iteration of a parallel level (cross-iteration scalar \
+                         dependence); iterations are not independent"
+                    )
+                };
+                out.push(Finding {
+                    code: LintCode::ReductionInDoall,
+                    severity,
+                    nest: self.nest_index,
+                    level: None,
+                    line: None,
+                    message,
+                    details: vec![
+                        detail("var", var.to_string()),
+                        detail(
+                            "idiom",
+                            if is_reduction {
+                                "reduction"
+                            } else {
+                                "cross-iteration"
+                            },
+                        ),
+                    ],
+                    ordinal: Some(sn.level_ordinals[0]),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Outermost contiguous run of dependence-free levels, rendered as
+/// `levels [s, e)` (or `none` when every level is carried).
+fn suggested_band(deps: &NestDeps) -> String {
+    let par = deps.parallelizable_levels();
+    let start = match par.iter().position(|p| *p) {
+        Some(s) => s,
+        None => return "none".to_string(),
+    };
+    let end = par[start..]
+        .iter()
+        .position(|p| !*p)
+        .map(|off| start + off)
+        .unwrap_or(par.len());
+    format!("levels [{start}, {end})")
+}
+
+fn collect_subnests(l: &Loop, counter: &mut usize, out: &mut Vec<SubNest>) {
+    let nest = extract_nest(l);
+    let level_ordinals: Vec<usize> = (0..nest.depth())
+        .map(|_| {
+            let o = *counter;
+            *counter += 1;
+            o
+        })
+        .collect();
+    let body = nest.body.clone();
+    out.push(SubNest {
+        nest,
+        level_ordinals,
+    });
+    subnests_in_stmts(&body, counter, out);
+}
+
+fn subnests_in_stmts(stmts: &[Stmt], counter: &mut usize, out: &mut Vec<SubNest>) {
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => collect_subnests(l, counter, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                subnests_in_stmts(then_body, counter, out);
+                subnests_in_stmts(else_body, counter, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walk every array reference (reads and the write target) under `l` in
+/// pre-order, reporting `(innermost loop ordinal, array, dim, subscript)`
+/// per subscript expression. The ordinal numbering matches
+/// [`collect_subnests`], so findings point at the right header.
+fn walk_refs(l: &Loop, counter: &mut usize, f: &mut impl FnMut(usize, &Symbol, usize, &Expr)) {
+    let ordinal = *counter;
+    *counter += 1;
+    expr_refs(&l.lower, ordinal, f);
+    expr_refs(&l.upper, ordinal, f);
+    expr_refs(&l.step, ordinal, f);
+    stmt_refs(&l.body, ordinal, counter, f);
+}
+
+fn stmt_refs(
+    stmts: &[Stmt],
+    ordinal: usize,
+    counter: &mut usize,
+    f: &mut impl FnMut(usize, &Symbol, usize, &Expr),
+) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { value, .. } => expr_refs(value, ordinal, f),
+            Stmt::AssignArray { target, value } => {
+                for (dim, ix) in target.indices.iter().enumerate() {
+                    f(ordinal, &target.array, dim, ix);
+                    expr_refs(ix, ordinal, f);
+                }
+                expr_refs(value, ordinal, f);
+            }
+            Stmt::Loop(l) => walk_refs(l, counter, f),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond_refs(cond, ordinal, f);
+                stmt_refs(then_body, ordinal, counter, f);
+                stmt_refs(else_body, ordinal, counter, f);
+            }
+        }
+    }
+}
+
+fn expr_refs(e: &Expr, ordinal: usize, f: &mut impl FnMut(usize, &Symbol, usize, &Expr)) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Read(r) => {
+            for (dim, ix) in r.indices.iter().enumerate() {
+                f(ordinal, &r.array, dim, ix);
+                expr_refs(ix, ordinal, f);
+            }
+        }
+        Expr::Unary(_, a) => expr_refs(a, ordinal, f),
+        Expr::Binary(_, a, b) => {
+            expr_refs(a, ordinal, f);
+            expr_refs(b, ordinal, f);
+        }
+    }
+}
+
+fn cond_refs(c: &Cond, ordinal: usize, f: &mut impl FnMut(usize, &Symbol, usize, &Expr)) {
+    match c {
+        Cond::Cmp(_, a, b) => {
+            expr_refs(a, ordinal, f);
+            expr_refs(b, ordinal, f);
+        }
+        Cond::Not(x) => cond_refs(x, ordinal, f),
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            cond_refs(a, ordinal, f);
+            cond_refs(b, ordinal, f);
+        }
+    }
+}
+
+/// Collect every variable mentioned anywhere in `stmts` (bounds, bodies,
+/// conditions, subscripts).
+fn stmt_variables(stmts: &[Stmt], out: &mut Vec<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { value, .. } => value.variables(out),
+            Stmt::AssignArray { target, value } => {
+                for ix in &target.indices {
+                    ix.variables(out);
+                }
+                value.variables(out);
+            }
+            Stmt::Loop(l) => {
+                l.lower.variables(out);
+                l.upper.variables(out);
+                l.step.variables(out);
+                stmt_variables(&l.body, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond.variables(out);
+                stmt_variables(then_body, out);
+                stmt_variables(else_body, out);
+            }
+        }
+    }
+}
+
+/// Every scalar assigned anywhere in `stmts` (any branch, any depth).
+fn scalars_assigned(stmts: &[Stmt], out: &mut BTreeSet<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, .. } => {
+                out.insert(var.clone());
+            }
+            Stmt::AssignArray { .. } => {}
+            Stmt::Loop(l) => scalars_assigned(&l.body, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                scalars_assigned(then_body, out);
+                scalars_assigned(else_body, out);
+            }
+        }
+    }
+}
+
+/// In-execution-order read-before-definite-assignment scan for scalars.
+/// `hits` receives `(var, is_reduction_idiom)` per offending read.
+fn scan_scalars(
+    stmts: &[Stmt],
+    assigned: &mut BTreeSet<Symbol>,
+    loop_vars: &BTreeSet<Symbol>,
+    hits: &mut Vec<(Symbol, bool)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, value } => {
+                let mut reads = Vec::new();
+                value.variables(&mut reads);
+                for v in reads {
+                    if !assigned.contains(&v) && !loop_vars.contains(&v) {
+                        hits.push((v.clone(), v == *var));
+                    }
+                }
+                assigned.insert(var.clone());
+            }
+            Stmt::AssignArray { target, value } => {
+                let mut reads = Vec::new();
+                for ix in &target.indices {
+                    ix.variables(&mut reads);
+                }
+                value.variables(&mut reads);
+                for v in reads {
+                    if !assigned.contains(&v) && !loop_vars.contains(&v) {
+                        hits.push((v, false));
+                    }
+                }
+            }
+            Stmt::Loop(l) => {
+                let mut reads = Vec::new();
+                l.lower.variables(&mut reads);
+                l.upper.variables(&mut reads);
+                l.step.variables(&mut reads);
+                for v in reads {
+                    if !assigned.contains(&v) && !loop_vars.contains(&v) {
+                        hits.push((v, false));
+                    }
+                }
+                let mut inner_vars = loop_vars.clone();
+                inner_vars.insert(l.var.clone());
+                // The body may run zero times: its assignments are not
+                // definite afterwards, so scan with a throwaway set.
+                let mut inner_assigned = assigned.clone();
+                scan_scalars(&l.body, &mut inner_assigned, &inner_vars, hits);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let mut reads = Vec::new();
+                cond.variables(&mut reads);
+                for v in reads {
+                    if !assigned.contains(&v) && !loop_vars.contains(&v) {
+                        hits.push((v, false));
+                    }
+                }
+                let mut t = assigned.clone();
+                scan_scalars(then_body, &mut t, loop_vars, hits);
+                let mut e = assigned.clone();
+                scan_scalars(else_body, &mut e, loop_vars, hits);
+                // Definite only on both paths.
+                *assigned = t.intersection(&e).cloned().collect();
+            }
+        }
+    }
+}
+
+/// Fold an expression to a constant under `env`. Division and modulus
+/// are deliberately not folded (their rounding conventions belong to the
+/// interpreter); `None` means "unknown", which LC002 treats as 1 so only
+/// provable overflows fire.
+fn eval_const(e: &Expr, env: &ConstEnv) -> Option<i64> {
+    use lc_ir::{BinOp, UnOp};
+    match e {
+        Expr::Const(v) => Some(*v),
+        Expr::Var(s) => env.get(s).copied(),
+        Expr::Read(_) => None,
+        Expr::Unary(UnOp::Neg, a) => eval_const(a, env)?.checked_neg(),
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (eval_const(a, env)?, eval_const(b, env)?);
+            match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Min => Some(a.min(b)),
+                BinOp::Max => Some(a.max(b)),
+                BinOp::Div | BinOp::Mod | BinOp::CeilDiv => None,
+            }
+        }
+    }
+}
+
+/// Trip count of a header whose bounds fold to constants under `env`.
+fn trip_count(h: &LoopHeader, env: &ConstEnv) -> Option<u64> {
+    let lo = eval_const(&h.lower, env)? as i128;
+    let hi = eval_const(&h.upper, env)? as i128;
+    let st = eval_const(&h.step, env)? as i128;
+    if st == 0 {
+        return None;
+    }
+    let trips = if st > 0 {
+        if hi < lo {
+            0
+        } else {
+            (hi - lo) / st + 1
+        }
+    } else if lo < hi {
+        0
+    } else {
+        (lo - hi) / (-st) + 1
+    };
+    u64::try_from(trips).ok()
+}
+
+/// Lint a whole program: walk top-level statements in order, building
+/// the constant-propagation environment from straight-line scalar
+/// assignments, and run every enabled lint on each loop statement
+/// (including nests nested below imperfect levels and inside `if`
+/// bodies).
+pub fn lint_program(prog: &Program, set: &LintSet) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if set.all_allowed() {
+        return out;
+    }
+    let mut env = ConstEnv::new();
+    let mut counter = 0usize;
+    lint_stmt_list(&prog.body, set, &mut env, &mut counter, None, &mut out);
+    out
+}
+
+/// Fold one statement into a running constant environment: a
+/// straight-line scalar assignment updates (or invalidates) its
+/// variable; compound statements (loops, `if`s) invalidate every scalar
+/// they *might* assign, since those assignments are not definite
+/// straight-line facts. The driver's `analyze` stage uses this to build
+/// the [`ConstEnv`] a nest is linted under from the statements that
+/// precede it.
+pub fn absorb_stmt(env: &mut ConstEnv, s: &Stmt) {
+    match s {
+        Stmt::AssignScalar { var, value } => match eval_const(value, env) {
+            Some(v) => {
+                env.insert(var.clone(), v);
+            }
+            None => {
+                env.remove(var);
+            }
+        },
+        Stmt::AssignArray { .. } => {}
+        Stmt::Loop(_) | Stmt::If { .. } => {
+            let mut assigned = BTreeSet::new();
+            scalars_assigned(std::slice::from_ref(s), &mut assigned);
+            for var in assigned {
+                env.remove(&var);
+            }
+        }
+    }
+}
+
+fn lint_stmt_list(
+    stmts: &[Stmt],
+    set: &LintSet,
+    env: &mut ConstEnv,
+    counter: &mut usize,
+    enclosing_nest: Option<usize>,
+    out: &mut Vec<Finding>,
+) {
+    for (i, s) in stmts.iter().enumerate() {
+        let nest_index = enclosing_nest.unwrap_or(i);
+        match s {
+            Stmt::Loop(l) => {
+                let mut linter = NestLinter::with_ordinals(l, nest_index, env, counter);
+                out.extend(linter.run_all(set));
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                // Branch assignments are not definite: lint each branch
+                // under a cloned environment. Ordinal bookkeeping still
+                // threads through both branches in textual order.
+                let mut t = env.clone();
+                lint_stmt_list(then_body, set, &mut t, counter, Some(nest_index), out);
+                let mut e = env.clone();
+                lint_stmt_list(else_body, set, &mut e, counter, Some(nest_index), out);
+            }
+            Stmt::AssignScalar { .. } | Stmt::AssignArray { .. } => {}
+        }
+        // Afterwards the statement's effect (including invalidation of
+        // scalars a loop or branch might have reassigned) flows into the
+        // environment the *next* statement is linted under.
+        absorb_stmt(env, s);
+    }
+}
+
+/// Parse `src` and lint it, attaching 1-based source lines to findings
+/// by matching loop-header keywords in textual (= pre-order) order.
+pub fn lint_source(src: &str, set: &LintSet) -> lc_ir::Result<Vec<Finding>> {
+    let prog = lc_ir::parser::parse_program(src)?;
+    let mut findings = lint_program(&prog, set);
+    let lines = loop_header_lines(src);
+    for f in &mut findings {
+        if let Some(o) = f.ordinal {
+            f.line = lines.get(o).copied();
+        }
+    }
+    Ok(findings)
+}
+
+/// 1-based line of every loop-header keyword (`for` / `doall` /
+/// `doacross`), in textual order. `//` comments are ignored.
+fn loop_header_lines(src: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or(raw);
+        let mut i = 0;
+        while i < line.len() {
+            let rest = &line[i..];
+            let Some(kw) = ["doacross", "doall", "for"]
+                .into_iter()
+                .find(|kw| rest.starts_with(kw))
+            else {
+                i += rest.chars().next().map(char::len_utf8).unwrap_or(1);
+                continue;
+            };
+            let boundary = |c: char| !c.is_alphanumeric() && c != '_';
+            let before_ok = line[..i].chars().next_back().map(boundary).unwrap_or(true);
+            let after_ok = rest[kw.len()..]
+                .chars()
+                .next()
+                .map(boundary)
+                .unwrap_or(true);
+            if before_ok && after_ok {
+                out.push(ln + 1);
+            }
+            i += kw.len();
+        }
+    }
+    out
+}
+
+/// Fuzzing contract: when this returns `true`, interpreting the program
+/// must produce the same final **array store** under every `doall`
+/// iteration order (`Forward`, `Reverse`, `Shuffled(_)`). The
+/// interpreter reorders only `doall` loops, so the certificate requires:
+///
+/// 1. no LC001 finding — every `doall` level of every (sub)nest is
+///    dependence-free under the conservative tester;
+/// 2. no LC005 finding — no cross-iteration scalar inside a nest with a
+///    parallel level;
+/// 3. no scalar assigned under a `doall` loop is read after that loop
+///    completes (a last-writer-wins scalar escaping into later code
+///    would leak the iteration order).
+///
+/// A `false` answer makes no claim either way — it only means the
+/// conservative analysis could not prove independence.
+pub fn certifies_order_independent(prog: &Program) -> bool {
+    let set = LintSet::all_allow()
+        .with(LintCode::DoallRace, Severity::Warn)
+        .with(LintCode::ReductionInDoall, Severity::Warn);
+    if !lint_program(prog, &set).is_empty() {
+        return false;
+    }
+    let mut poisoned = BTreeSet::new();
+    scan_escapes(&prog.body, &mut poisoned, true)
+}
+
+/// Walk `stmts` keeping the set of scalars whose value is
+/// order-dependent (assigned under a completed `doall`); any read of
+/// such a scalar fails the certificate. `definite` is true only for
+/// statement lists that are guaranteed to execute exactly once, where a
+/// reassignment un-poisons a scalar.
+fn scan_escapes(stmts: &[Stmt], poisoned: &mut BTreeSet<Symbol>, definite: bool) -> bool {
+    for s in stmts {
+        if reads_any_of(s, poisoned) {
+            return false;
+        }
+        match s {
+            Stmt::AssignScalar { var, .. } => {
+                if definite {
+                    poisoned.remove(var);
+                }
+            }
+            Stmt::AssignArray { .. } => {}
+            Stmt::Loop(l) => {
+                let mut inner = poisoned.clone();
+                if !scan_escapes(&l.body, &mut inner, false) {
+                    return false;
+                }
+                // After the loop completes, every scalar assigned under a
+                // doall within it is order-dependent.
+                let mut w = BTreeSet::new();
+                doall_assigned_scalars(std::slice::from_ref(s), false, &mut w);
+                poisoned.extend(w);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let mut t = poisoned.clone();
+                if !scan_escapes(then_body, &mut t, false) {
+                    return false;
+                }
+                let mut e = poisoned.clone();
+                if !scan_escapes(else_body, &mut e, false) {
+                    return false;
+                }
+                let mut w = BTreeSet::new();
+                doall_assigned_scalars(std::slice::from_ref(s), false, &mut w);
+                poisoned.extend(w);
+            }
+        }
+    }
+    true
+}
+
+/// Scalars assigned anywhere in `stmts` with at least one enclosing
+/// `doall` loop inside this subtree.
+fn doall_assigned_scalars(stmts: &[Stmt], under_doall: bool, out: &mut BTreeSet<Symbol>) {
+    for s in stmts {
+        match s {
+            Stmt::AssignScalar { var, .. } => {
+                if under_doall {
+                    out.insert(var.clone());
+                }
+            }
+            Stmt::AssignArray { .. } => {}
+            Stmt::Loop(l) => doall_assigned_scalars(&l.body, under_doall || l.kind.is_doall(), out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                doall_assigned_scalars(then_body, under_doall, out);
+                doall_assigned_scalars(else_body, under_doall, out);
+            }
+        }
+    }
+}
+
+/// True when any variable read anywhere in `s` (bounds, conditions,
+/// subscripts, values) is in `set`. Scope-aware: a loop variable
+/// shadows an outer scalar of the same name only within that loop's
+/// body.
+fn reads_any_of(s: &Stmt, set: &BTreeSet<Symbol>) -> bool {
+    if set.is_empty() {
+        return false;
+    }
+    let mut bound = BTreeSet::new();
+    stmt_reads_of(s, set, &mut bound)
+}
+
+fn expr_reads_of(e: &Expr, set: &BTreeSet<Symbol>, bound: &BTreeSet<Symbol>) -> bool {
+    let mut vars = Vec::new();
+    e.variables(&mut vars);
+    vars.iter().any(|v| set.contains(v) && !bound.contains(v))
+}
+
+fn cond_reads_of(c: &Cond, set: &BTreeSet<Symbol>, bound: &BTreeSet<Symbol>) -> bool {
+    let mut vars = Vec::new();
+    c.variables(&mut vars);
+    vars.iter().any(|v| set.contains(v) && !bound.contains(v))
+}
+
+fn stmt_reads_of(s: &Stmt, set: &BTreeSet<Symbol>, bound: &mut BTreeSet<Symbol>) -> bool {
+    match s {
+        Stmt::AssignScalar { value, .. } => expr_reads_of(value, set, bound),
+        Stmt::AssignArray { target, value } => {
+            target
+                .indices
+                .iter()
+                .any(|ix| expr_reads_of(ix, set, bound))
+                || expr_reads_of(value, set, bound)
+        }
+        Stmt::Loop(l) => {
+            if expr_reads_of(&l.lower, set, bound)
+                || expr_reads_of(&l.upper, set, bound)
+                || expr_reads_of(&l.step, set, bound)
+            {
+                return true;
+            }
+            let fresh = bound.insert(l.var.clone());
+            let hit = l.body.iter().any(|b| stmt_reads_of(b, set, bound));
+            if fresh {
+                bound.remove(&l.var);
+            }
+            hit
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            cond_reads_of(cond, set, bound)
+                || then_body.iter().any(|b| stmt_reads_of(b, set, bound))
+                || else_body.iter().any(|b| stmt_reads_of(b, set, bound))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_ir::parser::parse_program;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_program(&parse_program(src).unwrap(), &LintSet::default())
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<LintCode> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn lc001_positive_racy_doall_reports_direction() {
+        let f = lint(
+            "
+            array A[8];
+            doall i = 2..8 {
+                A[i] = A[i - 1] + 1;
+            }
+            ",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.code == LintCode::DoallRace)
+            .expect("LC001 must fire on a racy doall");
+        assert_eq!(hit.level, Some(0));
+        assert_eq!(hit.detail("kind"), Some("flow"));
+        assert_eq!(hit.detail("direction"), Some("(<)"));
+        assert!(hit.message.contains("(<)"), "{}", hit.message);
+        assert_eq!(hit.detail("suggested_band"), Some("none"));
+    }
+
+    #[test]
+    fn lc001_negative_clean_doall_is_silent() {
+        let f = lint(
+            "
+            array A[8][8];
+            doall i = 1..8 {
+                doall j = 1..8 {
+                    A[i][j] = i + j;
+                }
+            }
+            ",
+        );
+        assert!(
+            !codes(&f).contains(&LintCode::DoallRace),
+            "clean nest must not trip LC001: {f:?}"
+        );
+    }
+
+    #[test]
+    fn lc001_suggests_the_outer_legal_band() {
+        // Inner level carries a recurrence; outer is clean.
+        let f = lint(
+            "
+            array A[8][8];
+            doall i = 1..8 {
+                doall j = 2..8 {
+                    A[i][j] = A[i][j - 1] + 1;
+                }
+            }
+            ",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.code == LintCode::DoallRace)
+            .expect("LC001 on the inner level");
+        assert_eq!(hit.level, Some(1));
+        assert_eq!(hit.detail("suggested_band"), Some("levels [0, 1)"));
+    }
+
+    #[test]
+    fn lc001_fires_on_doall_subnest_below_imperfect_code() {
+        let f = lint(
+            "
+            array A[8];
+            for t = 1..3 {
+                s = t;
+                doall i = 2..8 {
+                    A[i] = A[i - 1] + s;
+                }
+            }
+            ",
+        );
+        assert!(
+            codes(&f).contains(&LintCode::DoallRace),
+            "must recurse into sub-nests: {f:?}"
+        );
+    }
+
+    #[test]
+    fn lc002_positive_constant_trip_overflow() {
+        let f = lint(
+            "
+            array A[4];
+            doall i = 1..4000000000 {
+                doall j = 1..4000000000 {
+                    A[1] = 0;
+                }
+            }
+            ",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.code == LintCode::TripOverflow)
+            .expect("16e18 iterations exceed i64::MAX");
+        assert_eq!(hit.detail("product"), Some("16000000000000000000"));
+    }
+
+    #[test]
+    fn lc002_positive_bounded_symbolic_trips() {
+        let f = lint(
+            "
+            array A[4];
+            n = 4000000000;
+            doall i = 1..n {
+                doall j = 1..n {
+                    doall k = 1..n {
+                        A[1] = 0;
+                    }
+                }
+            }
+            ",
+        );
+        assert!(
+            codes(&f).contains(&LintCode::TripOverflow),
+            "const-propagated symbolic bounds must be resolved: {f:?}"
+        );
+    }
+
+    #[test]
+    fn lc002_negative_small_and_unknown_trips() {
+        let f = lint(
+            "
+            array A[4][4];
+            doall i = 1..4 {
+                doall j = 1..m {
+                    A[i][1] = i;
+                }
+            }
+            ",
+        );
+        assert!(
+            !codes(&f).contains(&LintCode::TripOverflow),
+            "unknown trips count as 1; only provable overflows fire: {f:?}"
+        );
+    }
+
+    #[test]
+    fn lc003_positive_names_the_subscript() {
+        let f = lint(
+            "
+            array A[100];
+            doall i = 1..8 {
+                A[i * i] = i;
+            }
+            ",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.code == LintCode::NonAffineSubscript)
+            .expect("i * i is not affine");
+        assert_eq!(hit.detail("subscript"), Some("i * i"));
+        assert_eq!(hit.detail("array"), Some("A"));
+    }
+
+    #[test]
+    fn lc003_negative_affine_subscripts() {
+        let f = lint(
+            "
+            array A[40];
+            doall i = 1..8 {
+                A[2 * i + 3] = i;
+            }
+            ",
+        );
+        assert!(!codes(&f).contains(&LintCode::NonAffineSubscript), "{f:?}");
+    }
+
+    #[test]
+    fn lc004_positive_dead_outer_index() {
+        let f = lint(
+            "
+            array A[8];
+            doall t = 1..5 {
+                doall i = 1..8 {
+                    A[i] = i;
+                }
+            }
+            ",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.code == LintCode::DeadInduction)
+            .expect("t is never read");
+        assert_eq!(hit.detail("var"), Some("t"));
+        assert_eq!(hit.level, Some(0));
+    }
+
+    #[test]
+    fn lc004_negative_index_used_in_inner_bound() {
+        // k is only used by the inner loop's bound — still live.
+        let f = lint(
+            "
+            array A[8];
+            for k = 1..4 {
+                doall i = 1..k {
+                    A[i] = i;
+                }
+            }
+            ",
+        );
+        assert!(!codes(&f).contains(&LintCode::DeadInduction), "{f:?}");
+    }
+
+    #[test]
+    fn lc005_positive_reduction_idiom() {
+        let f = lint(
+            "
+            array A[8];
+            doall i = 1..8 {
+                s = s + A[i];
+            }
+            ",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.code == LintCode::ReductionInDoall)
+            .expect("s = s + … is a reduction in a doall");
+        assert_eq!(hit.detail("var"), Some("s"));
+        assert_eq!(hit.detail("idiom"), Some("reduction"));
+    }
+
+    #[test]
+    fn lc005_negative_per_iteration_temp() {
+        let f = lint(
+            "
+            array A[8];
+            doall i = 1..8 {
+                t = i * 2;
+                A[i] = t;
+            }
+            ",
+        );
+        assert!(!codes(&f).contains(&LintCode::ReductionInDoall), "{f:?}");
+    }
+
+    #[test]
+    fn lc005_serial_reduction_is_fine() {
+        let f = lint(
+            "
+            array A[8];
+            for i = 1..8 {
+                s = s + A[i];
+            }
+            ",
+        );
+        assert!(!codes(&f).contains(&LintCode::ReductionInDoall), "{f:?}");
+    }
+
+    #[test]
+    fn severities_and_allow_filtering() {
+        let src = "
+            array A[8];
+            doall i = 2..8 {
+                A[i] = A[i - 1] + 1;
+            }
+        ";
+        let prog = parse_program(src).unwrap();
+        let denying = LintSet::default().with(LintCode::DoallRace, Severity::Deny);
+        let f = lint_program(&prog, &denying);
+        assert!(f
+            .iter()
+            .any(|x| x.code == LintCode::DoallRace && x.severity == Severity::Deny));
+        let allowing = LintSet::default().with(LintCode::DoallRace, Severity::Allow);
+        let f = lint_program(&prog, &allowing);
+        assert!(!codes(&f).contains(&LintCode::DoallRace));
+        assert!(lint_program(&prog, &LintSet::all_allow()).is_empty());
+    }
+
+    #[test]
+    fn lint_set_parses_names() {
+        let mut set = LintSet::default();
+        set.set_by_name("doall-race", Severity::Deny).unwrap();
+        assert_eq!(set.level(LintCode::DoallRace), Severity::Deny);
+        set.set_by_name("LC005", Severity::Allow).unwrap();
+        assert_eq!(set.level(LintCode::ReductionInDoall), Severity::Allow);
+        set.set_by_name("all", Severity::Warn).unwrap();
+        assert!(!set.any_denied());
+        assert!(set.set_by_name("LC999", Severity::Warn).is_err());
+    }
+
+    #[test]
+    fn lint_source_attaches_lines() {
+        let src = "array A[8];\ndoall i = 2..8 {\n    A[i] = A[i - 1] + 1;\n}\n";
+        let f = lint_source(src, &LintSet::default()).unwrap();
+        let hit = f.iter().find(|x| x.code == LintCode::DoallRace).unwrap();
+        assert_eq!(hit.line, Some(2));
+    }
+
+    #[test]
+    fn lint_source_lines_inside_nested_loops() {
+        let src = "array A[8][8];\nfor t = 1..3 {\n    doall i = 1..8 {\n        doall j = 2..8 {\n            A[i][j] = A[i][j - 1];\n        }\n    }\n}\n";
+        let f = lint_source(src, &LintSet::default()).unwrap();
+        let hit = f.iter().find(|x| x.code == LintCode::DoallRace).unwrap();
+        // The carried level is `j`, declared on line 4.
+        assert_eq!(hit.line, Some(4));
+    }
+
+    #[test]
+    fn certify_accepts_clean_program() {
+        let p = parse_program(
+            "
+            array A[8][8];
+            doall i = 1..8 {
+                doall j = 1..8 {
+                    A[i][j] = i * 10 + j;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        assert!(certifies_order_independent(&p));
+    }
+
+    #[test]
+    fn certify_rejects_racy_doall() {
+        let p = parse_program(
+            "
+            array A[8];
+            doall i = 1..8 {
+                A[1] = i;
+            }
+            ",
+        )
+        .unwrap();
+        assert!(!certifies_order_independent(&p));
+    }
+
+    #[test]
+    fn certify_rejects_scalar_escaping_a_doall() {
+        // s's final value is the last iteration's — order-dependent —
+        // and it flows into B. No LC001 (A writes are disjoint), no
+        // LC005 (s is written before read within the iteration): only
+        // the escape rule catches it.
+        let p = parse_program(
+            "
+            array A[8];
+            array B[1];
+            doall i = 1..8 {
+                s = i;
+                A[i] = s;
+            }
+            B[1] = s;
+            ",
+        )
+        .unwrap();
+        assert!(!certifies_order_independent(&p));
+    }
+
+    #[test]
+    fn certify_rejects_scalar_escaping_within_a_serial_loop() {
+        // The doall is nested in a serial loop and the escape happens to
+        // a later sibling inside that loop's body.
+        let p = parse_program(
+            "
+            array A[8][8];
+            array B[8];
+            for t = 1..8 {
+                doall i = 1..8 {
+                    s = i + t;
+                    A[t][i] = s;
+                }
+                B[t] = s;
+            }
+            ",
+        )
+        .unwrap();
+        assert!(!certifies_order_independent(&p));
+    }
+
+    #[test]
+    fn certify_allows_scalar_read_after_serial_reassignment() {
+        let p = parse_program(
+            "
+            array A[8];
+            array B[1];
+            doall i = 1..8 {
+                s = i;
+                A[i] = s;
+            }
+            s = 7;
+            B[1] = s;
+            ",
+        )
+        .unwrap();
+        assert!(certifies_order_independent(&p));
+    }
+
+    #[test]
+    fn certify_ignores_serial_and_doacross_loops() {
+        // The interpreter never reorders serial or doacross loops, so a
+        // carried dependence there does not block the certificate.
+        let p = parse_program(
+            "
+            array A[8];
+            for i = 2..8 {
+                A[i] = A[i - 1] + 1;
+            }
+            ",
+        )
+        .unwrap();
+        assert!(certifies_order_independent(&p));
+    }
+}

@@ -77,7 +77,9 @@ fn main() -> ExitCode {
         server.addr(),
         workers
     );
-    println!("POST /compile | POST /batch | GET /metrics | GET /healthz | POST /shutdown");
+    println!(
+        "POST /compile | POST /batch | POST /analyze | GET /metrics | GET /healthz | POST /shutdown"
+    );
 
     // Drain when stdin closes, so `lc-serve < /dev/null` exits once idle
     // and a supervisor can stop us by closing the pipe. `POST /shutdown`

@@ -12,8 +12,9 @@
 //!
 //! | Endpoint         | Meaning                                             |
 //! |------------------|-----------------------------------------------------|
-//! | `POST /compile`  | DSL source in, coalesced source + pipeline trace out |
+//! | `POST /compile`  | DSL source in, coalesced source + lints + pipeline trace out |
 //! | `POST /batch`    | `{"sources": [...]}` in, per-item results + wall times out |
+//! | `POST /analyze`  | DSL source in, `lc-lint` findings out (lint-only, no rewrite) |
 //! | `GET /metrics`   | Prometheus-style counters, gauges, latency quantiles |
 //! | `GET /healthz`   | liveness + drain state                              |
 //! | `POST /shutdown` | begin graceful drain                                |
@@ -27,6 +28,8 @@
 //!   says which path a response took.
 //! * **Backpressure** — the job queue is bounded; when it is full the
 //!   server answers `429` immediately rather than queueing unboundedly.
+//!   `/analyze` is exempt: linting is cheap enough to answer on the
+//!   connection thread, so it keeps working under compile saturation.
 //! * **Deadlines** — every job carries a deadline (`X-Deadline-Ms` or
 //!   the configured default). A job still queued past its deadline is
 //!   answered `503` without being compiled.

@@ -13,7 +13,27 @@ use std::time::{Duration, Instant};
 use lc_driver::json::Json;
 
 use crate::client;
-use crate::sync::lock_recovering;
+use crate::sync::{into_inner_recovering, lock_recovering};
+
+/// Which endpoint the generator drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadTarget {
+    /// `POST /compile` — the full pipeline (queued, cached).
+    #[default]
+    Compile,
+    /// `POST /analyze` — lint-only, answered on the connection thread.
+    Analyze,
+}
+
+impl LoadTarget {
+    /// The request path this target hits.
+    pub fn path(self) -> &'static str {
+        match self {
+            LoadTarget::Compile => "/compile",
+            LoadTarget::Analyze => "/analyze",
+        }
+    }
+}
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -24,6 +44,8 @@ pub struct LoadgenConfig {
     pub rounds: usize,
     /// Per-request client timeout.
     pub timeout: Duration,
+    /// Endpoint to drive.
+    pub target: LoadTarget,
 }
 
 impl Default for LoadgenConfig {
@@ -32,6 +54,7 @@ impl Default for LoadgenConfig {
             concurrency: 8,
             rounds: 3,
             timeout: Duration::from_secs(30),
+            target: LoadTarget::default(),
         }
     }
 }
@@ -173,7 +196,12 @@ pub fn run(addr: SocketAddr, corpus: &[String], config: &LoadgenConfig) -> Loadg
                     }
                     let source = &corpus[i % corpus.len()];
                     let t0 = Instant::now();
-                    let outcome = client::post(addr, "/compile", source.as_bytes(), config.timeout);
+                    let outcome = client::post(
+                        addr,
+                        config.target.path(),
+                        source.as_bytes(),
+                        config.timeout,
+                    );
                     local.latencies.push(t0.elapsed().as_micros() as u64);
                     match outcome {
                         Ok(resp) => {
@@ -202,7 +230,7 @@ pub fn run(addr: SocketAddr, corpus: &[String], config: &LoadgenConfig) -> Loadg
 
     // Poison recovery: a panicked client thread must not lose the whole
     // run's tallies.
-    let mut tally = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut tally = into_inner_recovering(merged);
     tally.latencies.sort_unstable();
     let requests = tally.latencies.len() as u64;
     LoadgenReport {

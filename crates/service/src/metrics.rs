@@ -111,6 +111,12 @@ pub struct Metrics {
     pub compile_requests: AtomicU64,
     /// `POST /batch` requests.
     pub batch_requests: AtomicU64,
+    /// `POST /analyze` requests.
+    pub analyze_requests: AtomicU64,
+    /// Lint findings reported by `/analyze` (all severities).
+    pub lint_findings: AtomicU64,
+    /// `deny`-severity findings reported by `/analyze`.
+    pub lint_denied: AtomicU64,
     /// Jobs accepted into the queue.
     pub jobs_enqueued: AtomicU64,
     /// Jobs shed with 429 because the queue was full.
@@ -188,6 +194,27 @@ impl Metrics {
             "POST /batch requests",
             "counter",
             g(&self.batch_requests),
+        );
+        add(
+            &mut out,
+            "lc_analyze_requests_total",
+            "POST /analyze requests",
+            "counter",
+            g(&self.analyze_requests),
+        );
+        add(
+            &mut out,
+            "lc_lint_findings_total",
+            "Lint findings reported by /analyze",
+            "counter",
+            g(&self.lint_findings),
+        );
+        add(
+            &mut out,
+            "lc_lint_denied_total",
+            "Deny-severity lint findings reported by /analyze",
+            "counter",
+            g(&self.lint_denied),
         );
         add(
             &mut out,

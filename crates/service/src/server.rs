@@ -29,6 +29,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lc_driver::json::Json;
+use lc_driver::trace::finding_to_json;
 use lc_driver::{Driver, DriverOptions, DriverOutput};
 
 use crate::cache::{fnv1a, ShardedLru};
@@ -276,6 +277,7 @@ fn route(shared: &Shared, req: Request) -> Response {
         ),
         ("POST", "/compile") => handle_compile(shared, req),
         ("POST", "/batch") => handle_batch(shared, req),
+        ("POST", "/analyze") => handle_analyze(shared, req),
         ("POST", "/shutdown") => {
             begin_drain(shared);
             Response::json(
@@ -286,7 +288,7 @@ fn route(shared: &Shared, req: Request) -> Response {
                 ]),
             )
         }
-        (_, "/compile" | "/batch" | "/shutdown") => Response::error(
+        (_, "/compile" | "/batch" | "/analyze" | "/shutdown") => Response::error(
             405,
             format!("{} requires POST, got {}", req.target, req.method),
         ),
@@ -406,6 +408,55 @@ fn handle_batch(shared: &Shared, req: Request) -> Response {
     run_job(shared, JobKind::Batch { sources: list }, deadline)
 }
 
+/// `POST /analyze`: run the static analyzer only. Linting is orders of
+/// magnitude cheaper than a full compile (no rewrite, no interpreter
+/// validation), so it is answered directly on the connection thread —
+/// it never consumes a queue slot or a worker, and keeps working while
+/// the compile queue is saturated or draining. The lint severities are
+/// the configured driver's ([`DriverOptions::lints`]).
+fn handle_analyze(shared: &Shared, req: Request) -> Response {
+    shared
+        .metrics
+        .analyze_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let Ok(source) = String::from_utf8(req.body) else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    if source.trim().is_empty() {
+        return Response::error(422, "empty program");
+    }
+    let set = &shared.config.driver.lints;
+    match catch_unwind(AssertUnwindSafe(|| lc_lint::lint_source(&source, set))) {
+        Ok(Ok(findings)) => {
+            let denied = findings
+                .iter()
+                .filter(|f| f.severity == lc_lint::Severity::Deny)
+                .count();
+            shared
+                .metrics
+                .lint_findings
+                .fetch_add(findings.len() as u64, Ordering::Relaxed);
+            shared
+                .metrics
+                .lint_denied
+                .fetch_add(denied as u64, Ordering::Relaxed);
+            Response::json(
+                200,
+                &Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    (
+                        "findings",
+                        Json::Arr(findings.iter().map(finding_to_json).collect()),
+                    ),
+                    ("denied", Json::Int(denied as i64)),
+                ]),
+            )
+        }
+        Ok(Err(e)) => Response::error(422, e.to_string()),
+        Err(_) => Response::error(500, "analyze panicked"),
+    }
+}
+
 /// FNV key over the driver fingerprint and the source text, with a
 /// separator byte that cannot occur inside UTF-8 text so the two parts
 /// cannot alias.
@@ -497,7 +548,7 @@ fn batch_job(shared: &Shared, sources: &[String]) -> Response {
 }
 
 /// The `/compile` success payload: transformed source, coalesce/skip
-/// summaries, and the full pipeline trace.
+/// summaries, lint findings, and the full pipeline trace.
 fn output_json(out: &DriverOutput) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -506,6 +557,10 @@ fn output_json(out: &DriverOutput) -> Json {
         (
             "skipped",
             Json::Arr(out.skipped.iter().map(|s| s.to_json()).collect()),
+        ),
+        (
+            "lints",
+            Json::Arr(out.lints.iter().map(finding_to_json).collect()),
         ),
         ("trace", out.trace.to_json()),
     ])

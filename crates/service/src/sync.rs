@@ -1,35 +1,23 @@
 //! Poison-recovering lock helpers.
 //!
-//! `Mutex::lock().unwrap()` turns one panicked thread into a cascade:
-//! the mutex is poisoned, every later `lock()` returns `Err`, and the
-//! `unwrap` re-panics — so a single panicking compile worker would wedge
-//! the shared cache and queue and turn every subsequent request into a
-//! 500. None of the service's critical sections leave their data in a
-//! broken state on panic (counters are atomics; the cache map and queue
-//! are structurally consistent between statements), so the right policy
-//! is to *recover*: take the guard out of the [`std::sync::PoisonError`]
-//! and keep
-//! serving. The fuzzer's service mode leans on this — a malformed
-//! request must never take the server down with it.
+//! These helpers started here, but the driver's parallel batch compiler
+//! needed the same policy, so their home is now [`lc_driver::sync`] (the
+//! lowest crate with a worker pool). This module re-exports them
+//! unchanged — see the driver module's docs for why *recovering* from a
+//! [`std::sync::PoisonError`] is the right call for every critical
+//! section in this workspace: a panicking compile worker must never
+//! wedge the shared cache or queue and turn every later request into an
+//! error.
 
-use std::sync::{Condvar, Mutex, MutexGuard};
-
-/// Lock `m`, recovering the guard if a previous holder panicked.
-pub fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Wait on `cv`, recovering the guard if the mutex was poisoned while
-/// waiting.
-pub fn wait_recovering<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
-}
+pub use lc_driver::sync::{into_inner_recovering, lock_recovering, wait_recovering};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::{Arc, Mutex};
 
+    // The behaviour contract the service relies on, exercised through
+    // the re-export so a future re-home can't silently drop it.
     #[test]
     fn recovers_a_poisoned_mutex() {
         let m = Arc::new(Mutex::new(7u32));
@@ -45,5 +33,7 @@ mod tests {
         assert_eq!(*lock_recovering(&m), 7);
         *lock_recovering(&m) = 8;
         assert_eq!(*lock_recovering(&m), 8);
+        let m = Arc::try_unwrap(m).expect("sole owner");
+        assert_eq!(into_inner_recovering(m), 8);
     }
 }

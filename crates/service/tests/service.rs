@@ -10,7 +10,7 @@ use lc_driver::json::Json;
 use lc_driver::DriverOptions;
 use lc_service::client;
 use lc_service::corpus::corpus72;
-use lc_service::loadgen::{run as loadgen_run, LoadgenConfig};
+use lc_service::loadgen::{run as loadgen_run, LoadTarget, LoadgenConfig};
 use lc_service::metrics::scrape_counter;
 use lc_service::{Server, ServiceConfig};
 use lc_xform::coalesce::CoalesceOptions;
@@ -303,6 +303,84 @@ fn malformed_requests_get_typed_statuses() {
 }
 
 #[test]
+fn analyze_reports_lint_findings_without_compiling() {
+    // Default config: all lints at `warn`, so findings are reported but
+    // nothing is denied.
+    let server = Server::start(ServiceConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    let racy = "array A[8];\ndoall i = 2..8 {\n    A[i] = A[i - 1];\n}\n";
+
+    let resp = client::post(addr, "/analyze", racy.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body_text());
+    let v = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(v.int_field("denied").unwrap(), 0);
+    let findings = v.get("findings").and_then(Json::as_arr).unwrap();
+    let race = findings
+        .iter()
+        .find(|f| f.str_field("code") == Ok("LC001"))
+        .expect("racy doall must trigger LC001");
+    assert_eq!(race.str_field("severity"), Ok("warn"));
+    assert!(
+        race.str_field("message").unwrap().contains("dependence"),
+        "finding carries a human-readable explanation"
+    );
+
+    // A clean program comes back with an empty findings array.
+    let clean = client::post(addr, "/analyze", PROGRAM.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(clean.status, 200);
+    let v = Json::parse(&clean.body_text()).unwrap();
+    assert_eq!(v.get("findings"), Some(&Json::Arr(Vec::new())));
+
+    // Typed errors: garbage and empty bodies are 422, GET is 405.
+    assert_eq!(
+        client::post(addr, "/analyze", b"zzz not a program", TIMEOUT)
+            .unwrap()
+            .status,
+        422
+    );
+    assert_eq!(
+        client::post(addr, "/analyze", b"", TIMEOUT).unwrap().status,
+        422
+    );
+    assert_eq!(client::get(addr, "/analyze", TIMEOUT).unwrap().status, 405);
+
+    let text = metrics_text(&server);
+    assert_eq!(scrape_counter(&text, "lc_analyze_requests_total"), Some(4));
+    assert!(scrape_counter(&text, "lc_lint_findings_total").unwrap() >= 1);
+    assert_eq!(scrape_counter(&text, "lc_lint_denied_total"), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn compile_envelope_carries_warned_lints_without_blocking() {
+    // Default config again: the analyze stage runs in the pipeline and
+    // warned findings ride along in the `/compile` envelope.
+    let server = Server::start(ServiceConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let racy = "array A[8];\ndoall i = 2..8 {\n    A[i] = A[i - 1];\n}\n";
+    let resp = client::post(server.addr(), "/compile", racy.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body_text());
+    let v = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let lints = v.get("lints").and_then(Json::as_arr).unwrap();
+    assert!(
+        lints.iter().any(|f| f.str_field("code") == Ok("LC001")),
+        "warned LC001 must appear in the compile envelope"
+    );
+    // The coalescer still skips the nest for its own legality reason
+    // (carried dependence) — but a warn-level lint must never be the
+    // thing that vetoed it.
+    let skipped = v.get("skipped").and_then(Json::as_arr).unwrap();
+    assert!(
+        skipped
+            .iter()
+            .all(|s| s.get("reason").unwrap().str_field("kind") != Ok("lint-denied")),
+        "a warn-level finding must not veto the nest: {skipped:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_runs_the_corpus_and_reports_quantiles() {
     let server = facade_server(|cfg| {
         cfg.workers = 4;
@@ -316,6 +394,7 @@ fn loadgen_runs_the_corpus_and_reports_quantiles() {
             concurrency: 4,
             rounds: 2,
             timeout: TIMEOUT,
+            target: LoadTarget::Compile,
         },
     );
     assert_eq!(report.requests, 144);

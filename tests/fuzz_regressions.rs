@@ -51,6 +51,7 @@ doall i = 1..1 {
         advise: None,
         pass_order: None,
         validate_each_pass: false,
+        lints: lc_lint::LintSet::all_allow(),
     };
     let divergence = lc_fuzz::oracle::check_source(
         src,
